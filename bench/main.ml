@@ -1,0 +1,537 @@
+(* Benchmark harness.
+
+   Regenerates every table and figure of the paper's evaluation (Section 5.2,
+   Figure 15) plus the comparison/ablation experiments from DESIGN.md, then
+   runs Bechamel microbenchmarks of the core operations.
+
+   Usage:
+     dune exec bench/main.exe                 -- everything, default scale
+     dune exec bench/main.exe -- fig15a       -- only that section
+     dune exec bench/main.exe -- --full ...   -- paper-scale router topology
+
+   Sections: fig15a fig15b avg-vs-bound theorem3 theorem4 baseline msgsize
+             census latency-ablation optimize churn assumption resilience micro *)
+
+module Id = Ntcu_id.Id
+module Params = Ntcu_id.Params
+module Experiment = Ntcu_harness.Experiment
+module Report = Ntcu_harness.Report
+module Join_cost = Ntcu_analysis.Join_cost
+module Stats = Ntcu_std.Stats
+
+let pf = Format.printf
+
+let section name = pf "@.=== %s ===@." name
+
+let mean_int a = Stats.mean (Stats.of_ints a)
+
+(* ---- Figure 15(a): theoretical upper bound of E(J) ---- *)
+
+let fig15a () =
+  section "Figure 15(a): upper bound of E(J) vs n (Theorem 5), b = 16";
+  let ns = List.init 10 (fun i -> 10_000 * (i + 1)) in
+  List.iter
+    (fun (m, d) ->
+      let label = Printf.sprintf "m=%d, b=16, d=%d" m d in
+      let series = Experiment.fig15a_series ~b:16 ~d ~m ~ns in
+      pf "%a" (Report.pp_fig15a_curve ~label) series)
+    [ (500, 40); (1000, 40); (500, 8); (1000, 8) ]
+
+(* ---- Figure 15(b): simulated CDF of JoinNotiMsg per joining node ---- *)
+
+let paper_measured = [ 6.117; 6.051; 5.026; 5.399 ]
+
+let fig15b_runs ~routers () =
+  List.mapi
+    (fun i setup -> (setup, Experiment.fig15b ~routers ~seed:(100 + i) setup))
+    Experiment.paper_setups
+
+let fig15b ~routers () =
+  section "Figure 15(b): CDF of # JoinNotiMsg sent by a joining node";
+  pf "router topology: %d routers@." (Ntcu_topology.Transit_stub.router_count routers);
+  let runs = fig15b_runs ~routers () in
+  List.iter
+    (fun ((setup : Experiment.fig15b_setup), (run : Experiment.join_run)) ->
+      let label =
+        Printf.sprintf "n=%d, m=%d, b=16, d=%d%s" setup.n setup.m setup.d
+          (if Experiment.consistent run then "" else "  [INCONSISTENT!]")
+      in
+      pf "%a" (Report.pp_cdf ~label) (Experiment.cdf_points run.join_noti))
+    runs;
+  runs
+
+let avg_vs_bound runs =
+  section "Section 5.2 in-text: average JoinNotiMsg vs Theorem-5 bound";
+  let rows =
+    List.map2
+      (fun ((setup : Experiment.fig15b_setup), (run : Experiment.join_run)) paper_avg ->
+        let label = Printf.sprintf "n=%d d=%d" setup.n setup.d in
+        ( label,
+          mean_int run.join_noti,
+          Join_cost.theorem5_bound (Params.make ~b:16 ~d:setup.d) ~n:setup.n ~m:setup.m,
+          paper_avg ))
+      runs paper_measured
+  in
+  pf "%a" Report.pp_avg_vs_bound rows
+
+(* ---- Theorem 3: CpRst + JoinWait <= d + 1 ---- *)
+
+let theorem3 runs =
+  section "Theorem 3: CpRstMsg + JoinWaitMsg per join <= d + 1";
+  List.iter
+    (fun ((setup : Experiment.fig15b_setup), (run : Experiment.join_run)) ->
+      let worst = Array.fold_left max 0 run.cp_wait in
+      pf "n=%d d=%d: mean %.3f, max %d, bound %d  %s@." setup.n setup.d
+        (mean_int run.cp_wait) worst (setup.d + 1)
+        (if worst <= setup.d + 1 then "OK" else "VIOLATED"))
+    runs
+
+(* ---- Theorem 4: exact E(J) for a single join vs simulation ---- *)
+
+let theorem4 () =
+  section "Theorem 4: E(J) for a single join, closed form vs simulation";
+  (* J is heavy-tailed (a rare low notification level makes the set, and
+     hence J, an order of magnitude larger), so the standard error matters. *)
+  let p = Params.make ~b:16 ~d:8 in
+  List.iter
+    (fun n ->
+      let expected = Join_cost.expected_join_noti p ~n in
+      let runs = 300 in
+      let samples =
+        Array.init runs (fun seed ->
+            let run = Experiment.concurrent_joins p ~seed:((seed + 1) * 7) ~n ~m:1 () in
+            float_of_int run.join_noti.(0))
+      in
+      let avg = Stats.mean samples in
+      let stderr = Stats.stddev samples /. sqrt (float_of_int runs) in
+      pf "n=%5d: closed form %.3f, simulated %.3f +/- %.3f (%d joins)@." n expected avg
+        stderr runs)
+    [ 200; 500; 1000 ]
+
+(* ---- Baseline comparison: state placement and concurrency safety ---- *)
+
+let baseline () =
+  section "Baseline: multicast join (Tapestry-style) vs this paper's protocol";
+  let p = Params.make ~b:16 ~d:8 in
+  let n = 500 and m = 200 in
+  let ours = Experiment.concurrent_joins p ~seed:11 ~n ~m () in
+  let base_seq = Experiment.baseline_run p ~seed:11 ~n ~m ~concurrent:false in
+  let base_con = Experiment.baseline_run p ~seed:11 ~n ~m ~concurrent:true in
+  pf "%a"
+    (Report.table
+       ~header:[ "protocol"; "workload"; "consistent"; "peak state@existing"; "state slots" ])
+    [
+      [
+        "this paper";
+        "concurrent";
+        (if Experiment.consistent ours then "yes" else "NO");
+        "0";
+        "0";
+      ];
+      [
+        "multicast";
+        "sequential";
+        (if base_seq.base_consistent then "yes" else "NO");
+        string_of_int base_seq.peak_pending;
+        string_of_int base_seq.pending_slots;
+      ];
+      [
+        "multicast";
+        "concurrent";
+        (if base_con.base_consistent then "yes"
+         else Printf.sprintf "NO (%d violations)" base_con.base_violations);
+        string_of_int base_con.peak_pending;
+        string_of_int base_con.pending_slots;
+      ];
+    ]
+
+(* ---- Section 6.2 ablation: message-size reduction ---- *)
+
+let msgsize () =
+  section "Section 6.2 ablation: bytes sent per size mode";
+  let p = Params.make ~b:16 ~d:8 in
+  let n = 500 and m = 200 in
+  let rows =
+    List.map
+      (fun (mode, name) ->
+        let run = Experiment.concurrent_joins ~size_mode:mode p ~seed:21 ~n ~m () in
+        let bytes = Ntcu_core.Stats.bytes_sent (Ntcu_core.Network.global_stats run.net) in
+        [
+          name;
+          (if Experiment.consistent run then "yes" else "NO");
+          string_of_int bytes;
+          Printf.sprintf "%.1f" (float_of_int bytes /. float_of_int m /. 1024.);
+        ])
+      [
+        (Ntcu_core.Message.Full, "full tables");
+        (Ntcu_core.Message.Level_range, "level range");
+        (Ntcu_core.Message.Bit_vector, "level range + bit vector");
+      ]
+  in
+  pf "%a" (Report.table ~header:[ "mode"; "consistent"; "total bytes"; "KiB per join" ]) rows
+
+(* ---- Message census: big vs small messages (Section 5.2's distinction) ---- *)
+
+let census () =
+  section "Message census per join (big = table-carrying, small = rest)";
+  let p = Params.make ~b:16 ~d:8 in
+  let n = 1000 and m = 400 in
+  let run = Experiment.concurrent_joins p ~seed:81 ~n ~m () in
+  assert (Experiment.consistent run);
+  let g = Ntcu_core.Network.global_stats run.net in
+  let per_join k =
+    float_of_int (Ntcu_core.Stats.sent g k) /. float_of_int m
+  in
+  let big =
+    [
+      Ntcu_core.Message.K_cp_rst;
+      K_cp_rly;
+      K_join_wait;
+      K_join_wait_rly;
+      K_join_noti;
+      K_join_noti_rly;
+    ]
+  in
+  let small =
+    [
+      Ntcu_core.Message.K_in_sys_noti;
+      K_spe_noti;
+      K_spe_noti_rly;
+      K_rv_ngh_noti;
+      K_rv_ngh_noti_rly;
+    ]
+  in
+  let rows =
+    List.map
+      (fun k ->
+        [
+          Ntcu_core.Message.kind_name k;
+          Printf.sprintf "%.3f" (per_join k);
+          (if List.mem k big then "big (request/reply)" else "small");
+        ])
+      (big @ small)
+  in
+  pf "%a" (Report.table ~header:[ "message"; "sent per join"; "class" ]) rows;
+  pf
+    "(replies mirror requests one-for-one; the paper analyzes CpRst/JoinWait — Theorem 3 \
+     — and JoinNoti — Theorems 4-5; small-message counts were deferred to the technical \
+     report)@."
+
+(* ---- Latency-model ablation ---- *)
+
+let latency_ablation () =
+  section "Ablation: latency model vs join cost (consistency must hold in all)";
+  let p = Params.make ~b:16 ~d:8 in
+  let n = 500 and m = 200 in
+  let rows =
+    List.map
+      (fun (latency, name) ->
+        let run = Experiment.concurrent_joins ~latency p ~seed:31 ~n ~m () in
+        [
+          name;
+          (if Experiment.consistent run then "yes" else "NO");
+          Printf.sprintf "%.3f" (mean_int run.join_noti);
+          string_of_int run.events;
+        ])
+      [
+        (Ntcu_sim.Latency.constant 1.0, "constant 1ms");
+        (Ntcu_sim.Latency.uniform ~seed:1 ~lo:1. ~hi:100., "uniform 1-100ms");
+        ( (let topo =
+             Ntcu_topology.Transit_stub.generate ~seed:2
+               Ntcu_topology.Transit_stub.default_config
+           in
+           let hosts = Ntcu_topology.Endhosts.attach ~seed:3 topo ~n:(n + m) in
+           Ntcu_topology.Endhosts.latency ~seed:4 hosts),
+          "transit-stub" );
+      ]
+  in
+  pf "%a" (Report.table ~header:[ "latency model"; "consistent"; "avg J"; "messages" ]) rows
+
+(* ---- Optimization extension: route stretch before/after ---- *)
+
+let optimize () =
+  section "Extension: neighbor-table optimization (route stretch)";
+  let n = 300 and m = 100 in
+  let routers = Ntcu_topology.Transit_stub.default_config in
+  let topo = Ntcu_topology.Transit_stub.generate ~seed:42 routers in
+  let hosts = Ntcu_topology.Endhosts.attach ~seed:43 topo ~n:(n + m) in
+  let p = Params.make ~b:16 ~d:8 in
+  let rng = Ntcu_std.Rng.create 44 in
+  let seeds = Ntcu_harness.Workload.distinct_ids rng p ~n in
+  let joiners =
+    Ntcu_harness.Workload.distinct_ids ~avoid:(Id.Set.of_list seeds) rng p ~n:m
+  in
+  let net =
+    Ntcu_core.Network.create ~latency:(Ntcu_topology.Endhosts.latency ~seed:45 hosts) p
+  in
+  Ntcu_core.Network.seed_consistent net ~seed:46 seeds;
+  List.iter
+    (fun id -> Ntcu_core.Network.start_join net ~id ~gateway:(List.hd seeds) ())
+    joiners;
+  Ntcu_core.Network.run net;
+  assert (Ntcu_core.Network.check_consistent net = []);
+  (* Host index = registration order, matching the attach order. *)
+  let host_index = Id.Tbl.create 512 in
+  List.iteri (fun i id -> Id.Tbl.replace host_index id i) (Ntcu_core.Network.ids net);
+  let dist a b =
+    Ntcu_topology.Endhosts.distance hosts (Id.Tbl.find host_index a)
+      (Id.Tbl.find host_index b)
+  in
+  let before =
+    Ntcu_extensions.Optimize.average_route_stretch net ~dist ~seed:5 ~samples:500
+  in
+  let improved = Ntcu_extensions.Optimize.optimize ~max_passes:5 net ~dist in
+  let after =
+    Ntcu_extensions.Optimize.average_route_stretch net ~dist ~seed:5 ~samples:500
+  in
+  pf "entries improved: %d@." improved;
+  pf "average route stretch: %.3f before, %.3f after@." before after;
+  pf "still consistent: %b@." (Ntcu_core.Network.check_consistent net = [])
+
+(* ---- Assumption ablation: what the paper's assumptions buy ---- *)
+
+let assumption () =
+  section "Assumption ablation: reliable delivery (iii) and no deletion during joins (iv)";
+  let p = Params.make ~b:16 ~d:8 in
+  let n = 300 and m = 150 in
+  (* (iii): message loss wedges joins (liveness), it does not corrupt tables
+     of nodes that did complete. *)
+  pf "-- assumption (iii): in-transit message loss@.";
+  let rows =
+    List.map
+      (fun loss ->
+        let rng = Ntcu_std.Rng.create 51 in
+        let seeds = Ntcu_harness.Workload.distinct_ids rng p ~n in
+        let joiners =
+          Ntcu_harness.Workload.distinct_ids ~avoid:(Id.Set.of_list seeds) rng p ~n:m
+        in
+        let net =
+          Ntcu_core.Network.create ~loss:(loss, 52)
+            ~latency:(Ntcu_sim.Latency.uniform ~seed:53 ~lo:1. ~hi:100.)
+            p
+        in
+        Ntcu_core.Network.seed_consistent net ~seed:54 seeds;
+        let gateways = Array.of_list seeds in
+        List.iter
+          (fun id ->
+            Ntcu_core.Network.start_join net ~id
+              ~gateway:(Ntcu_std.Rng.pick rng gateways) ())
+          joiners;
+        Ntcu_core.Network.run net;
+        [
+          Printf.sprintf "%.1f%%" (100. *. loss);
+          string_of_int (Ntcu_core.Network.messages_lost net);
+          string_of_int (List.length (Ntcu_core.Network.stuck_joiners net));
+        ])
+      [ 0.0; 0.001; 0.01; 0.05; 0.2 ]
+  in
+  pf "%a" (Report.table ~header:[ "loss rate"; "messages lost"; "wedged joiners" ]) rows;
+  (* (iv): leaves DURING the join window can strand joiners and leave
+     dangling references; epoch-separated churn (the theorem's regime) never
+     does. *)
+  pf "-- assumption (iv): node deletion during the join window@.";
+  let mixed_run ~interleave seed =
+    let rng = Ntcu_std.Rng.create seed in
+    let seeds_ids = Ntcu_harness.Workload.distinct_ids rng p ~n in
+    let joiners =
+      Ntcu_harness.Workload.distinct_ids ~avoid:(Id.Set.of_list seeds_ids) rng p ~n:m
+    in
+    let net =
+      Ntcu_core.Network.create
+        ~latency:(Ntcu_sim.Latency.uniform ~seed:(seed + 1) ~lo:1. ~hi:100.)
+        p
+    in
+    Ntcu_core.Network.seed_consistent net ~seed:(seed + 2) seeds_ids;
+    let gateways = Array.of_list seeds_ids in
+    List.iter
+      (fun id ->
+        Ntcu_core.Network.start_join net ~id ~gateway:(Ntcu_std.Rng.pick rng gateways) ())
+      joiners;
+    let lp = Ntcu_extensions.Leave_protocol.create net in
+    let victims = Array.of_list seeds_ids in
+    Ntcu_std.Rng.shuffle rng victims;
+    let victims = Array.sub victims 0 30 in
+    if interleave then
+      (* Leaves fire inside the join window. *)
+      Array.iter
+        (fun id ->
+          Ntcu_extensions.Leave_protocol.request_leave lp
+            ~at:(Ntcu_std.Rng.float rng 150.) id)
+        victims
+    else begin
+      (* Epoch-separated: joins first, then leaves. *)
+      Ntcu_core.Network.run net;
+      Array.iter (fun id -> Ntcu_extensions.Leave_protocol.request_leave lp id) victims
+    end;
+    Ntcu_core.Network.run net;
+    let wedged = List.length (Ntcu_core.Network.stuck_joiners net) in
+    let violations =
+      List.length (Ntcu_table.Check.violations (Ntcu_core.Network.tables net))
+    in
+    (wedged, violations)
+  in
+  let rows =
+    List.concat_map
+      (fun (interleave, label) ->
+        List.map
+          (fun seed ->
+            let wedged, violations = mixed_run ~interleave seed in
+            [ label; string_of_int seed; string_of_int wedged; string_of_int violations ])
+          [ 61; 62; 63 ])
+      [ (false, "epoch-separated"); (true, "interleaved") ]
+  in
+  pf "%a"
+    (Report.table ~header:[ "schedule"; "seed"; "wedged joiners"; "violations" ])
+    rows
+
+(* ---- Churn extensions: leaves and failure recovery ---- *)
+
+let churn () =
+  section "Extensions: message-level leaves and failure recovery under churn";
+  let p = Params.make ~b:16 ~d:8 in
+  let run = Experiment.concurrent_joins p ~seed:41 ~n:600 ~m:200 () in
+  assert (Experiment.consistent run);
+  let net = run.net in
+  (* A quarter of the network leaves concurrently. *)
+  let lp = Ntcu_extensions.Leave_protocol.create net in
+  let leavers = fst (Ntcu_harness.Workload.split 200 (Ntcu_core.Network.ids net)) in
+  List.iter (fun id -> Ntcu_extensions.Leave_protocol.request_leave lp id) leavers;
+  Ntcu_extensions.Leave_protocol.run lp;
+  let lr = Ntcu_extensions.Leave_protocol.report lp in
+  pf "concurrent leaves: %a@." Ntcu_extensions.Leave_protocol.pp_report lr;
+  pf "consistent after leaves: %b@."
+    (Ntcu_table.Check.violations (Ntcu_core.Network.tables net) = []);
+  (* Then crash fractions of the survivors and repair. *)
+  List.iter
+    (fun fraction ->
+      let run = Experiment.concurrent_joins p ~seed:42 ~n:600 ~m:200 () in
+      assert (Experiment.consistent run);
+      ignore (Ntcu_extensions.Recovery.fail_random run.net ~seed:43 ~fraction);
+      let report = Ntcu_extensions.Recovery.repair run.net in
+      pf "fail %2.0f%%: %a; consistent: %b@." (100. *. fraction)
+        Ntcu_extensions.Recovery.pp_report report
+        (Ntcu_table.Check.violations (Ntcu_core.Network.tables run.net) = []))
+    [ 0.05; 0.15; 0.30; 0.50 ]
+
+(* ---- Backup neighbors: routing resilience before repair ---- *)
+
+let resilience () =
+  section "Backup neighbors (Section 2.1): routing success right after crashes, before repair";
+  let p = Params.make ~b:16 ~d:8 in
+  let rows =
+    List.map
+      (fun fraction ->
+        let run = Experiment.concurrent_joins p ~seed:71 ~n:400 ~m:400 () in
+        assert (Experiment.consistent run);
+        let net = run.net in
+        ignore (Ntcu_extensions.Recovery.fail_random net ~seed:72 ~fraction);
+        let alive x =
+          Ntcu_core.Network.mem net x && not (Ntcu_core.Network.is_failed net x)
+        in
+        let lookup x = Option.map Ntcu_core.Node.table (Ntcu_core.Network.node net x) in
+        let live = Array.of_list (Ntcu_core.Network.live_ids net) in
+        let rng = Ntcu_std.Rng.create 73 in
+        let plain = ref 0 and resilient = ref 0 in
+        let total = 2000 in
+        for _ = 1 to total do
+          let src = Ntcu_std.Rng.pick rng live and dst = Ntcu_std.Rng.pick rng live in
+          (match Ntcu_routing.Route.route ~lookup ~src ~dst with
+          | Ok path when List.for_all alive path -> incr plain
+          | Ok _ | Error _ -> ());
+          match Ntcu_routing.Route.route_resilient ~lookup ~alive ~src ~dst with
+          | Ok _ -> incr resilient
+          | Error _ -> ()
+        done;
+        let pct x = Printf.sprintf "%.1f%%" (100. *. float_of_int x /. float_of_int total) in
+        [ Printf.sprintf "%.0f%%" (100. *. fraction); pct !plain; pct !resilient ])
+      [ 0.05; 0.1; 0.2; 0.3 ]
+  in
+  pf "%a"
+    (Report.table
+       ~header:[ "crashed"; "primaries only"; "with backup neighbors" ])
+    rows
+
+(* ---- Bechamel microbenchmarks ---- *)
+
+let micro () =
+  section "Bechamel microbenchmarks";
+  let open Bechamel in
+  let p = Params.make ~b:16 ~d:8 in
+  let run = Experiment.concurrent_joins p ~seed:3 ~n:200 ~m:100 () in
+  let ids = Array.of_list (Ntcu_core.Network.ids run.net) in
+  let lookup id = Option.map Ntcu_core.Node.table (Ntcu_core.Network.node run.net id) in
+  let rng = Ntcu_std.Rng.create 9 in
+  let tables = Ntcu_core.Network.tables run.net in
+  let bench_route =
+    Test.make ~name:"route"
+      (Staged.stage (fun () ->
+           let src = Ntcu_std.Rng.pick rng ids and dst = Ntcu_std.Rng.pick rng ids in
+           ignore (Ntcu_routing.Route.route ~lookup ~src ~dst)))
+  in
+  let bench_check =
+    Test.make ~name:"consistency-check-300-nodes"
+      (Staged.stage (fun () -> ignore (Ntcu_table.Check.violations ~limit:1 tables)))
+  in
+  let bench_join =
+    Test.make ~name:"join-into-50-node-network"
+      (Staged.stage
+         (let counter = ref 0 in
+          fun () ->
+            incr counter;
+            ignore (Experiment.concurrent_joins p ~seed:!counter ~n:50 ~m:1 ())))
+  in
+  let bench_bound =
+    Test.make ~name:"theorem5-bound-n100k-d40"
+      (Staged.stage (fun () ->
+           ignore (Join_cost.theorem5_bound (Params.make ~b:16 ~d:40) ~n:100_000 ~m:1000)))
+  in
+  let benchmarks = [ bench_route; bench_check; bench_join; bench_bound ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 1.0) () in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let results =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+          Toolkit.Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Bechamel.Analyze.OLS.estimates result with
+          | Some [ est ] -> pf "%-40s %14.1f ns/run@." name est
+          | Some _ | None -> pf "%-40s (no estimate)@." name)
+        results)
+    benchmarks
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let full = List.exists (( = ) "--full") args in
+  let routers =
+    if full then Ntcu_topology.Transit_stub.paper_config
+    else Ntcu_topology.Transit_stub.scaled_config
+  in
+  let sections =
+    List.filter
+      (fun a ->
+        not (String.length a = 0 || a.[0] = '-' || Filename.check_suffix a ".exe"))
+      (List.tl args)
+  in
+  let want name = sections = [] || List.mem name sections in
+  if want "fig15a" then fig15a ();
+  if want "fig15b" || want "avg-vs-bound" || want "theorem3" then begin
+    let runs = fig15b ~routers () in
+    if want "avg-vs-bound" then avg_vs_bound runs;
+    if want "theorem3" then theorem3 runs
+  end;
+  if want "theorem4" then theorem4 ();
+  if want "baseline" then baseline ();
+  if want "msgsize" then msgsize ();
+  if want "census" then census ();
+  if want "latency-ablation" then latency_ablation ();
+  if want "optimize" then optimize ();
+  if want "assumption" then assumption ();
+  if want "resilience" then resilience ();
+  if want "churn" then churn ();
+  if want "micro" then micro ();
+  pf "@.done.@."

@@ -1,0 +1,266 @@
+(* Command-line interface to the reproduction: run joins, regenerate the
+   paper's figures, validate consistency across seeds, and query the
+   analytic model. *)
+
+open Cmdliner
+
+module Params = Ntcu_id.Params
+module Experiment = Ntcu_harness.Experiment
+module Report = Ntcu_harness.Report
+module Join_cost = Ntcu_analysis.Join_cost
+
+(* ---- common arguments ---- *)
+
+let n_arg =
+  Arg.(value & opt int 500 & info [ "n" ] ~docv:"N" ~doc:"Size of the initial network $(docv).")
+
+let m_arg =
+  Arg.(value & opt int 200 & info [ "m" ] ~docv:"M" ~doc:"Number of joining nodes $(docv).")
+
+let b_arg = Arg.(value & opt int 16 & info [ "b" ] ~docv:"B" ~doc:"Digit base $(docv).")
+let d_arg = Arg.(value & opt int 8 & info [ "d" ] ~docv:"D" ~doc:"Digits per ID $(docv).")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed $(docv).")
+
+let suffix_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "suffix" ] ~docv:"SUFFIX"
+        ~doc:"Force all joiner IDs to end with $(docv) (adversarial dependent joins).")
+
+let parse_suffix b s =
+  if s = "" then [||]
+  else begin
+    let digit c =
+      match c with
+      | '0' .. '9' -> Char.code c - Char.code '0'
+      | 'a' .. 'z' -> Char.code c - Char.code 'a' + 10
+      | _ -> failwith "bad suffix digit"
+    in
+    let k = String.length s in
+    Array.init k (fun i ->
+        let v = digit s.[k - 1 - i] in
+        if v >= b then failwith "suffix digit out of base";
+        v)
+  end
+
+(* ---- join ---- *)
+
+let join_cmd =
+  let run n m b d seed suffix sequential =
+    let p = Params.make ~b ~d in
+    let suffix = parse_suffix b suffix in
+    let result =
+      if sequential then Experiment.sequential_joins p ~seed ~n ~m ()
+      else Experiment.concurrent_joins p ~suffix ~seed ~n ~m ()
+    in
+    Format.printf "%a" Report.pp_join_run result;
+    if Experiment.consistent result then 0 else 1
+  in
+  let sequential =
+    Arg.(value & flag & info [ "sequential" ] ~doc:"Join one node at a time.")
+  in
+  Cmd.v
+    (Cmd.info "join" ~doc:"Run m joins into an n-node consistent network and verify.")
+    Term.(const run $ n_arg $ m_arg $ b_arg $ d_arg $ seed_arg $ suffix_arg $ sequential)
+
+(* ---- validate ---- *)
+
+let validate_cmd =
+  let run trials =
+    let failures = ref 0 in
+    let scenario label (run : Experiment.join_run) =
+      let ok =
+        run.all_in_system && run.quiescent && run.violations = []
+        && Array.for_all
+             (fun c -> c <= (Ntcu_core.Network.params run.net).d + 1)
+             run.cp_wait
+      in
+      if not ok then incr failures;
+      Format.printf "%-50s %s@." label (if ok then "ok" else "FAILED")
+    in
+    for seed = 1 to trials do
+      scenario
+        (Printf.sprintf "concurrent b=4 d=6 n=20 m=30 seed=%d" seed)
+        (Experiment.concurrent_joins (Params.make ~b:4 ~d:6) ~seed ~n:20 ~m:30 ());
+      scenario
+        (Printf.sprintf "dependent  b=8 d=5 n=30 m=20 seed=%d" seed)
+        (Experiment.concurrent_joins
+           (Params.make ~b:8 ~d:5)
+           ~suffix:[| 3; 1 |] ~seed ~n:30 ~m:20 ());
+      scenario
+        (Printf.sprintf "init       b=4 d=6 n=30       seed=%d" seed)
+        (Experiment.network_init (Params.make ~b:4 ~d:6) ~seed ~n:30)
+    done;
+    Format.printf "@.%d scenario(s) failed@." !failures;
+    if !failures = 0 then 0 else 1
+  in
+  let trials =
+    Arg.(value & opt int 5 & info [ "trials" ] ~docv:"K" ~doc:"Seeds per scenario.")
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Run a battery of join scenarios across seeds and check every invariant.")
+    Term.(const run $ trials)
+
+(* ---- fig15a ---- *)
+
+let fig15a_cmd =
+  let run b d m =
+    let ns = List.init 10 (fun i -> 10_000 * (i + 1)) in
+    let series = Experiment.fig15a_series ~b ~d ~m ~ns in
+    Format.printf "%a"
+      (Report.pp_fig15a_curve ~label:(Printf.sprintf "m=%d, b=%d, d=%d" m b d))
+      series;
+    0
+  in
+  Cmd.v
+    (Cmd.info "fig15a" ~doc:"Print one Figure 15(a) curve (Theorem 5 bound vs n).")
+    Term.(const run $ b_arg $ d_arg $ m_arg)
+
+(* ---- fig15b ---- *)
+
+let fig15b_cmd =
+  let run n m d seed full =
+    let routers =
+      if full then Ntcu_topology.Transit_stub.paper_config
+      else Ntcu_topology.Transit_stub.scaled_config
+    in
+    let result = Experiment.fig15b ~routers ~seed { Experiment.d; n; m } in
+    Format.printf "%a@." Report.pp_join_run result;
+    Format.printf "%a"
+      (Report.pp_cdf ~label:(Printf.sprintf "n=%d, m=%d, b=16, d=%d" n m d))
+      (Experiment.cdf_points result.join_noti);
+    if Experiment.consistent result then 0 else 1
+  in
+  let full =
+    Arg.(value & flag & info [ "full" ] ~doc:"Use the paper's 8320-router topology.")
+  in
+  Cmd.v
+    (Cmd.info "fig15b"
+       ~doc:"Run one Figure 15(b) setup over a transit-stub topology and print the CDF.")
+    Term.(const run $ n_arg $ m_arg $ d_arg $ seed_arg $ full)
+
+(* ---- bound ---- *)
+
+let bound_cmd =
+  let run n m b d =
+    let p = Params.make ~b ~d in
+    Format.printf "P_i(n) (Theorem 4):@.";
+    Array.iteri
+      (fun i prob -> if prob > 1e-12 then Format.printf "  P_%d = %.6f@." i prob)
+      (Join_cost.level_probabilities p ~n);
+    Format.printf "E(J) single join (Theorem 4): %.3f@." (Join_cost.expected_join_noti p ~n);
+    Format.printf "E(J) upper bound, m=%d concurrent (Theorem 5): %.3f@." m
+      (Join_cost.theorem5_bound p ~n ~m);
+    Format.printf "CpRst+JoinWait bound (Theorem 3): %d@." (Join_cost.theorem3_bound p);
+    0
+  in
+  Cmd.v
+    (Cmd.info "bound" ~doc:"Evaluate the analytic model (Theorems 3-5).")
+    Term.(const run $ n_arg $ m_arg $ b_arg $ d_arg)
+
+(* ---- baseline ---- *)
+
+let baseline_cmd =
+  let run n m b d seed concurrent =
+    let p = Params.make ~b ~d in
+    let r = Experiment.baseline_run p ~seed ~n ~m ~concurrent in
+    Format.printf
+      "multicast-join baseline (%s): done=%b consistent=%b violations=%d@.\
+       peak pending state at existing nodes: %d; total pending slots: %d; messages: %d@."
+      (if concurrent then "concurrent" else "sequential")
+      r.base_done r.base_consistent r.base_violations r.peak_pending r.pending_slots
+      r.base_messages;
+    0
+  in
+  let concurrent =
+    Arg.(value & flag & info [ "concurrent" ] ~doc:"Start all joins at time zero.")
+  in
+  Cmd.v
+    (Cmd.info "baseline" ~doc:"Run the Tapestry-style multicast-join baseline.")
+    Term.(const run $ n_arg $ m_arg $ b_arg $ d_arg $ seed_arg $ concurrent)
+
+(* ---- leave ---- *)
+
+let leave_cmd =
+  let run n m b d seed leavers =
+    let p = Params.make ~b ~d in
+    let result = Experiment.concurrent_joins p ~seed ~n ~m () in
+    if not (Experiment.consistent result) then begin
+      Format.printf "setup inconsistent@.";
+      1
+    end
+    else begin
+      let lp = Ntcu_extensions.Leave_protocol.create result.net in
+      let victims =
+        fst (Ntcu_harness.Workload.split leavers (Ntcu_core.Network.ids result.net))
+      in
+      List.iter (fun id -> Ntcu_extensions.Leave_protocol.request_leave lp id) victims;
+      Ntcu_extensions.Leave_protocol.run lp;
+      Format.printf "%a@." Ntcu_extensions.Leave_protocol.pp_report
+        (Ntcu_extensions.Leave_protocol.report lp);
+      let consistent = Ntcu_core.Network.check_consistent result.net = [] in
+      Format.printf "consistent after leaves: %b@." consistent;
+      if consistent then 0 else 1
+    end
+  in
+  let leavers =
+    Arg.(value & opt int 50 & info [ "leavers" ] ~docv:"K" ~doc:"Concurrent leavers.")
+  in
+  Cmd.v
+    (Cmd.info "leave"
+       ~doc:"Build a network, run K concurrent message-level leaves, verify consistency.")
+    Term.(const run $ n_arg $ m_arg $ b_arg $ d_arg $ seed_arg $ leavers)
+
+(* ---- recovery ---- *)
+
+let recovery_cmd =
+  let run n m b d seed fraction =
+    let p = Params.make ~b ~d in
+    let result = Experiment.concurrent_joins p ~seed ~n ~m () in
+    if not (Experiment.consistent result) then begin
+      Format.printf "setup inconsistent@.";
+      1
+    end
+    else begin
+      let victims =
+        Ntcu_extensions.Recovery.fail_random result.net ~seed:(seed + 1) ~fraction
+      in
+      Format.printf "crashed %d of %d nodes@." (List.length victims) (n + m);
+      let report = Ntcu_extensions.Recovery.repair result.net in
+      Format.printf "%a@." Ntcu_extensions.Recovery.pp_report report;
+      let consistent = Ntcu_core.Network.check_consistent result.net = [] in
+      Format.printf "survivors consistent: %b@." consistent;
+      if consistent then 0 else 1
+    end
+  in
+  let fraction =
+    Arg.(
+      value & opt float 0.2
+      & info [ "fraction" ] ~docv:"F" ~doc:"Fraction of nodes to crash (0 <= F < 1).")
+  in
+  Cmd.v
+    (Cmd.info "recovery"
+       ~doc:"Build a network, crash a fraction of it, repair, verify consistency.")
+    Term.(const run $ n_arg $ m_arg $ b_arg $ d_arg $ seed_arg $ fraction)
+
+let main =
+  Cmd.group
+    (Cmd.info "ntcu" ~version:"1.0.0"
+       ~doc:
+         "Neighbor table construction and update in a dynamic peer-to-peer network \
+          (Liu & Lam, ICDCS 2003) - reproduction toolkit.")
+    [
+      join_cmd;
+      validate_cmd;
+      fig15a_cmd;
+      fig15b_cmd;
+      bound_cmd;
+      baseline_cmd;
+      leave_cmd;
+      recovery_cmd;
+    ]
+
+let () = exit (Cmd.eval' main)

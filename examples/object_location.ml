@@ -1,0 +1,99 @@
+(* Replicated-object location over the routing infrastructure (the paper's
+   background, Section 2, and PRR's directory semantics): publish objects
+   from several storers, look them up from random clients, and measure hops
+   and stretch over a transit-stub topology. Demonstrates properties P1
+   (deterministic location) and P2 (queries tend to find nearby copies).
+
+   Run with: dune exec examples/object_location.exe *)
+
+module Id = Ntcu_id.Id
+module Params = Ntcu_id.Params
+module Network = Ntcu_core.Network
+module Node = Ntcu_core.Node
+module Directory = Ntcu_routing.Directory
+module Rng = Ntcu_std.Rng
+
+let () =
+  let p = Params.make ~b:16 ~d:8 in
+  let n = 200 and m = 100 in
+
+  (* Build the network (seeded V plus concurrent joins) over a topology. *)
+  let topo =
+    Ntcu_topology.Transit_stub.generate ~seed:2 Ntcu_topology.Transit_stub.default_config
+  in
+  let hosts = Ntcu_topology.Endhosts.attach ~seed:3 topo ~n:(n + m) in
+  let rng = Rng.create 4 in
+  let seeds = Ntcu_harness.Workload.distinct_ids rng p ~n in
+  let joiners =
+    Ntcu_harness.Workload.distinct_ids ~avoid:(Id.Set.of_list seeds) rng p ~n:m
+  in
+  let net = Network.create ~latency:(Ntcu_topology.Endhosts.latency ~seed:5 hosts) p in
+  Network.seed_consistent net ~seed:6 seeds;
+  List.iter (fun id -> Network.start_join net ~id ~gateway:(List.hd seeds) ()) joiners;
+  Network.run net;
+  assert (Network.check_consistent net = []);
+  Format.printf "routing substrate: %d nodes, consistent@." (Network.size net);
+
+  let ids = Array.of_list (Network.ids net) in
+  let host_index = Id.Tbl.create 512 in
+  List.iteri (fun i id -> Id.Tbl.replace host_index id i) (Network.ids net);
+  let dist a b =
+    Ntcu_topology.Endhosts.distance hosts (Id.Tbl.find host_index a)
+      (Id.Tbl.find host_index b)
+  in
+  let lookup id = Option.map Node.table (Network.node net id) in
+  let dir = Directory.create ~lookup in
+
+  (* Publish 50 objects, three replicas each. *)
+  let objects = List.init 50 (fun _ -> Id.random rng p) in
+  List.iter
+    (fun obj ->
+      for _ = 1 to 3 do
+        match Directory.publish dir ~storer:(Rng.pick rng ids) obj with
+        | Ok _ -> ()
+        | Error e -> Format.printf "publish failed: %a@." Ntcu_routing.Route.pp_error e
+      done)
+    objects;
+  Format.printf "published %d objects x 3 replicas@." (List.length objects);
+
+  (* Look every object up from random clients; collect hops and stretch. *)
+  let hops = ref [] and stretches = ref [] and missed = ref 0 in
+  List.iter
+    (fun obj ->
+      for _ = 1 to 5 do
+        let client = Rng.pick rng ids in
+        match Directory.lookup_object dir ~client obj with
+        | Ok { storers = []; _ } -> incr missed
+        | Ok { storers; pointer_node; hops = path } ->
+          hops := float_of_int (List.length path - 1) :: !hops;
+          (* Stretch: distance travelled (walk to the pointer, then on to the
+             replica the pointer selects — the one nearest the pointer node)
+             over the direct distance to the globally nearest replica. *)
+          let walk = Ntcu_routing.Route.path_cost ~dist path in
+          let to_replica =
+            List.fold_left (fun acc s -> min acc (dist pointer_node s)) infinity storers
+          in
+          let direct =
+            List.fold_left (fun acc s -> min acc (dist client s)) infinity storers
+          in
+          if direct > 0. then stretches := ((walk +. to_replica) /. direct) :: !stretches
+        | Error e -> Format.printf "lookup failed: %a@." Ntcu_routing.Route.pp_error e
+      done)
+    objects;
+  let hops = Array.of_list !hops and stretches = Array.of_list !stretches in
+  Format.printf "lookups: %d, not found: %d (must be 0 for P1)@." (Array.length hops)
+    !missed;
+  Format.printf "pointer found after: mean %.2f hops, p95 %.0f hops@."
+    (Ntcu_std.Stats.mean hops)
+    (Ntcu_std.Stats.percentile hops 95.);
+  Format.printf "access stretch: mean %.2f, median %.2f@."
+    (Ntcu_std.Stats.mean stretches)
+    (Ntcu_std.Stats.median stretches);
+
+  (* Directory load (P3): pointers are spread across nodes. *)
+  let loads =
+    Array.map (fun id -> float_of_int (List.length (Directory.pointers_at dir id))) ids
+  in
+  Format.printf "directory load per node: mean %.2f pointers, max %.0f@."
+    (Ntcu_std.Stats.mean loads)
+    (snd (Ntcu_std.Stats.min_max loads))

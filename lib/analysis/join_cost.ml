@@ -1,0 +1,103 @@
+module Params = Ntcu_id.Params
+module Id = Ntcu_id.Id
+
+let theorem3_bound (p : Params.t) = p.d + 1
+
+let powf b e = float_of_int b ** float_of_int e
+
+(* P_i(n) for 1 <= i <= d-2: sum over k >= 1 of
+     C(B, k) C(M, n-k) / C(T, n)
+   with B = (b-1) b^{d-1-i} (IDs sharing exactly the last i digits),
+   M = b^d - b^{d-i} (IDs not sharing the last i digits), T = b^d - 1.
+   Terms are evaluated by a ratio recurrence from the k = 1 term, streamed
+   through a log-sum-exp accumulator, with early exit once terms decay. *)
+let middle_probability ~bigb ~bigm ~log_ctn ~n =
+  if float_of_int (n - 1) > bigm then 0.
+  else begin
+    let acc = Logmath.Accum.create () in
+    let kmax = if bigb < float_of_int n then int_of_float bigb else n in
+    let log_term = ref (log bigb +. Logmath.log_binomial bigm (n - 1) -. log_ctn) in
+    (try
+       for k = 1 to kmax do
+         Logmath.Accum.add acc !log_term;
+         if k < kmax then begin
+           let ratio =
+             log (bigb -. float_of_int k)
+             -. log (float_of_int (k + 1))
+             +. log (float_of_int (n - k))
+             -. log (bigm -. float_of_int n +. float_of_int k +. 1.)
+           in
+           log_term := !log_term +. ratio;
+           (* Once past the mode and 60 nats below the peak, the tail is
+              negligible at double precision. *)
+           if ratio < 0. && !log_term < Logmath.Accum.log_total acc -. 60. then
+             raise Exit
+         end
+       done
+     with Exit -> ());
+    exp (Logmath.Accum.log_total acc)
+  end
+
+let level_probabilities (p : Params.t) ~n =
+  if n < 1 then invalid_arg "Join_cost.level_probabilities: n must be positive";
+  let d = p.d and b = p.b in
+  let total = powf b d -. 1. in
+  if float_of_int n > total then
+    invalid_arg "Join_cost.level_probabilities: n exceeds the ID space";
+  let log_ctn = Logmath.log_binomial total n in
+  let probs = Array.make d 0. in
+  probs.(0) <- exp (Logmath.log_binomial (powf b d -. powf b (d - 1)) n -. log_ctn);
+  for i = 1 to d - 2 do
+    let bigb = float_of_int (b - 1) *. powf b (d - 1 - i) in
+    let bigm = powf b d -. powf b (d - i) in
+    probs.(i) <- middle_probability ~bigb ~bigm ~log_ctn ~n
+  done;
+  if d >= 2 then begin
+    let partial = ref 0. in
+    for j = 0 to d - 2 do
+      partial := !partial +. probs.(j)
+    done;
+    probs.(d - 1) <- Float.max 0. (1. -. !partial)
+  end;
+  probs
+
+let expected_join_noti (p : Params.t) ~n =
+  let probs = level_probabilities p ~n in
+  let sum = ref 0. in
+  for i = 0 to p.d - 1 do
+    sum := !sum +. (float_of_int n /. powf p.b i *. probs.(i))
+  done;
+  !sum -. 1.
+
+let theorem5_bound (p : Params.t) ~n ~m =
+  if m < 0 then invalid_arg "Join_cost.theorem5_bound: negative m";
+  let probs = level_probabilities p ~n in
+  let sum = ref 0. in
+  for i = 0 to p.d - 1 do
+    sum := !sum +. (float_of_int (n + m) /. powf p.b i *. probs.(i))
+  done;
+  !sum
+
+let simulate_level_probabilities ~seed ~samples (p : Params.t) ~n =
+  if samples < 1 then invalid_arg "Join_cost.simulate_level_probabilities";
+  let rng = Ntcu_std.Rng.create seed in
+  let counts = Array.make p.d 0 in
+  for _ = 1 to samples do
+    let x = Id.random rng p in
+    let seen = Hashtbl.create (2 * n) in
+    Hashtbl.add seen (Id.to_string x) ();
+    let level = ref 0 in
+    let drawn = ref 0 in
+    while !drawn < n do
+      let y = Id.random rng p in
+      let key = Id.to_string y in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        incr drawn;
+        let k = Id.csuf_len x y in
+        if k > !level then level := k
+      end
+    done;
+    counts.(!level) <- counts.(!level) + 1
+  done;
+  Array.map (fun c -> float_of_int c /. float_of_int samples) counts

@@ -1,0 +1,30 @@
+(** Communication-cost analysis of the join protocol (paper, Section 5.2,
+    Theorems 3–5).
+
+    [J] denotes the number of [JoinNotiMsg] sent by one joining node. The
+    distribution of the join's {e notification level} — the largest [i] such
+    that some existing node shares the rightmost [i] digits while none shares
+    [i+1] — drives everything: a join at level [i] notifies the roughly
+    [n / b^i] nodes of its notification set. *)
+
+val theorem3_bound : Ntcu_id.Params.t -> int
+(** Upper bound on [CpRstMsg + JoinWaitMsg] per join: [d + 1]. *)
+
+val level_probabilities : Ntcu_id.Params.t -> n:int -> float array
+(** [P_i(n)] for [i = 0 .. d-1] (Theorem 4): the probability that a fresh
+    joiner's notification level is [i], given [n] uniformly random distinct
+    existing IDs. Sums to 1. *)
+
+val expected_join_noti : Ntcu_id.Params.t -> n:int -> float
+(** Theorem 4: exact expectation of [J] for a single join into a consistent
+    network of [n] nodes: [sum_i (n / b^i) P_i(n) - 1]. *)
+
+val theorem5_bound : Ntcu_id.Params.t -> n:int -> m:int -> float
+(** Theorem 5: upper bound on [E(J)] when [m] nodes join concurrently:
+    [sum_i ((n + m) / b^i) P_i(n)]. This is the quantity plotted in
+    Figure 15(a). *)
+
+val simulate_level_probabilities :
+  seed:int -> samples:int -> Ntcu_id.Params.t -> n:int -> float array
+(** Monte-Carlo estimate of {!level_probabilities} by drawing [samples]
+    independent (network, joiner) pairs — used to validate the closed form. *)

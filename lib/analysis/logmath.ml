@@ -1,0 +1,76 @@
+(* Lanczos approximation (g = 7, 9 coefficients), standard double-precision
+   coefficient set. *)
+let lanczos =
+  [|
+    0.99999999999980993;
+    676.5203681218851;
+    -1259.1392167224028;
+    771.32342877765313;
+    -176.61502916214059;
+    12.507343278686905;
+    -0.13857109526572012;
+    9.9843695780195716e-6;
+    1.5056327351493116e-7;
+  |]
+
+let rec log_gamma x =
+  if x <= 0. then invalid_arg "Logmath.log_gamma: non-positive argument"
+  else if x < 0.5 then
+    (* Reflection: Gamma(x) Gamma(1-x) = pi / sin(pi x). *)
+    log (Float.pi /. sin (Float.pi *. x)) -. log_gamma (1. -. x)
+  else begin
+    let x = x -. 1. in
+    let acc = ref lanczos.(0) in
+    for i = 1 to 8 do
+      acc := !acc +. (lanczos.(i) /. (x +. float_of_int i))
+    done;
+    let t = x +. 7.5 in
+    (0.5 *. log (2. *. Float.pi)) +. ((x +. 0.5) *. log t) -. t +. log !acc
+  end
+
+let factorial_cache_size = 10_000
+
+let factorial_cache =
+  lazy
+    (let cache = Array.make factorial_cache_size 0. in
+     for i = 2 to factorial_cache_size - 1 do
+       cache.(i) <- cache.(i - 1) +. log (float_of_int i)
+     done;
+     cache)
+
+let log_factorial n =
+  if n < 0 then invalid_arg "Logmath.log_factorial: negative argument";
+  if n < factorial_cache_size then (Lazy.force factorial_cache).(n)
+  else log_gamma (float_of_int n +. 1.)
+
+let log_binomial n k =
+  if k < 0 then invalid_arg "Logmath.log_binomial: negative k";
+  if float_of_int k > n then neg_infinity
+  else begin
+    let acc = ref 0. in
+    for j = 0 to k - 1 do
+      acc := !acc +. log (n -. float_of_int j)
+    done;
+    !acc -. log_factorial k
+  end
+
+module Accum = struct
+  type t = { mutable maximum : float; mutable scaled_sum : float }
+
+  let create () = { maximum = neg_infinity; scaled_sum = 0. }
+
+  let add t lx =
+    if lx = neg_infinity then ()
+    else if lx <= t.maximum then t.scaled_sum <- t.scaled_sum +. exp (lx -. t.maximum)
+    else begin
+      t.scaled_sum <- (t.scaled_sum *. exp (t.maximum -. lx)) +. 1.;
+      t.maximum <- lx
+    end
+
+  let log_total t = if t.maximum = neg_infinity then neg_infinity else t.maximum +. log t.scaled_sum
+end
+
+let log_sum terms =
+  let acc = Accum.create () in
+  List.iter (Accum.add acc) terms;
+  Accum.log_total acc

@@ -1,0 +1,50 @@
+(** Baseline comparator: a multicast-based join in the style of Tapestry /
+    Hildrum et al. (paper, Section 1 and [5]).
+
+    The joining node copies its table along a walk to its {e surrogate} (the
+    node sharing the longest suffix), which then announces the joiner by a
+    multicast over the notification set: each intermediate node forwards the
+    announcement to the nodes extending the current suffix by one digit,
+    keeps the joiner in a {e pending list} until all downstream
+    acknowledgements arrive, and only then acknowledges upstream.
+
+    This reproduces the design the paper argues against: "this approach has
+    the disadvantage of requiring many existing nodes to store and process
+    extra states as well as send and receive messages on behalf of joining
+    nodes". The simplified baseline is correct for sequential joins; under
+    concurrent {e dependent} joins it can and does produce inconsistent
+    tables (no mutual discovery), which is exactly the failure mode the
+    paper's protocol exists to prevent — the comparison bench measures both
+    the state footprint and this inconsistency rate. *)
+
+type t
+
+type message_counts = {
+  copies : int;  (** Table-copy requests and replies. *)
+  announces : int;
+  acks : int;
+  infos : int;  (** Contacted node -> joiner notifications. *)
+}
+
+val create : ?latency:Ntcu_sim.Latency.t -> Ntcu_id.Params.t -> t
+
+val seed_consistent : t -> seed:int -> Ntcu_id.Id.t list -> unit
+(** Same seeding as [Ntcu_core.Network.seed_consistent]. *)
+
+val start_join : t -> ?at:float -> id:Ntcu_id.Id.t -> gateway:Ntcu_id.Id.t -> unit -> unit
+
+val run : ?max_events:int -> t -> unit
+
+val tables : t -> Ntcu_table.Table.t list
+val check_consistent : t -> Ntcu_table.Check.violation list
+val all_done : t -> bool
+(** Every joiner has completed (received its join-done signal). *)
+
+val message_counts : t -> message_counts
+
+val peak_pending_at_existing : t -> int
+(** Maximum number of simultaneously pending joiner entries held by any
+    pre-existing node — the extra join state the paper's protocol avoids. *)
+
+val total_pending_slots : t -> int
+(** Total pending-list insertions at existing nodes over the run. *)

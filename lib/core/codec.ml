@@ -1,0 +1,269 @@
+module Id = Ntcu_id.Id
+module Params = Ntcu_id.Params
+module Table = Ntcu_table.Table
+module Snapshot = Table.Snapshot
+
+exception Malformed of string
+
+let malformed fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
+
+let bits_per_digit b =
+  let rec go bits cap = if cap >= b then bits else go (bits + 1) (cap * 2) in
+  go 1 2
+
+let id_bytes (p : Params.t) = ((p.d * bits_per_digit p.b) + 7) / 8
+
+let bitmap_bytes (p : Params.t) = ((p.d * p.b) + 7) / 8
+
+(* ---- writer ---- *)
+
+type writer = Buffer.t
+
+let u8 (w : writer) v =
+  assert (v >= 0 && v < 256);
+  Buffer.add_char w (Char.chr v)
+
+let u16 (w : writer) v =
+  assert (v >= 0 && v < 65536);
+  u8 w (v land 0xff);
+  u8 w (v lsr 8)
+
+(* Digits packed LSB-first: digit i occupies bits [i*bpd, (i+1)*bpd). *)
+let put_id (w : writer) (p : Params.t) id =
+  let bpd = bits_per_digit p.b in
+  let acc = ref 0 and nbits = ref 0 in
+  for i = 0 to p.d - 1 do
+    acc := !acc lor (Id.digit id i lsl !nbits);
+    nbits := !nbits + bpd;
+    while !nbits >= 8 do
+      u8 w (!acc land 0xff);
+      acc := !acc lsr 8;
+      nbits := !nbits - 8
+    done
+  done;
+  if !nbits > 0 then u8 w (!acc land 0xff)
+
+let put_state (w : writer) (s : Table.nstate) = u8 w (match s with T -> 0 | S -> 1)
+
+let put_sign (w : writer) (s : Message.sign) =
+  u8 w (match s with Negative -> 0 | Positive -> 1)
+
+let put_snapshot (w : writer) p (snap : Snapshot.t) =
+  put_id w p snap.owner;
+  u16 w (Snapshot.cell_count snap);
+  Snapshot.iter snap (fun c ->
+      u8 w c.level;
+      u8 w c.digit;
+      put_state w c.state;
+      put_id w p c.node)
+
+let put_bitmap (w : writer) (p : Params.t) positions =
+  let bytes = Bytes.make (bitmap_bytes p) '\000' in
+  List.iter
+    (fun (level, digit) ->
+      if level < 0 || level >= p.d || digit < 0 || digit >= p.b then
+        invalid_arg "Codec: bitmap position out of range";
+      let bit = (level * p.b) + digit in
+      let i = bit / 8 and off = bit mod 8 in
+      Bytes.set bytes i (Char.chr (Char.code (Bytes.get bytes i) lor (1 lsl off))))
+    positions;
+  Buffer.add_bytes w bytes
+
+(* ---- reader ---- *)
+
+type reader = { data : string; mutable pos : int }
+
+let need r n =
+  if r.pos + n > String.length r.data then
+    malformed "truncated message: need %d bytes at offset %d of %d" n r.pos
+      (String.length r.data)
+
+let g8 r =
+  need r 1;
+  let v = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let g16 r =
+  let lo = g8 r in
+  let hi = g8 r in
+  lo lor (hi lsl 8)
+
+let get_id r (p : Params.t) =
+  let bpd = bits_per_digit p.b in
+  let nbytes = id_bytes p in
+  need r nbytes;
+  let digits = Array.make p.d 0 in
+  let acc = ref 0 and nbits = ref 0 and consumed = ref 0 in
+  for i = 0 to p.d - 1 do
+    while !nbits < bpd do
+      acc := !acc lor (Char.code r.data.[r.pos + !consumed] lsl !nbits);
+      incr consumed;
+      nbits := !nbits + 8
+    done;
+    digits.(i) <- !acc land ((1 lsl bpd) - 1);
+    acc := !acc lsr bpd;
+    nbits := !nbits - bpd
+  done;
+  r.pos <- r.pos + nbytes;
+  match Id.make p digits with
+  | id -> id
+  | exception Invalid_argument msg -> malformed "bad identifier: %s" msg
+
+let get_state r : Table.nstate =
+  match g8 r with 0 -> T | 1 -> S | v -> malformed "bad state byte %d" v
+
+let get_sign r : Message.sign =
+  match g8 r with 0 -> Negative | 1 -> Positive | v -> malformed "bad sign byte %d" v
+
+let get_snapshot r (p : Params.t) =
+  let owner = get_id r p in
+  let count = g16 r in
+  let cells = ref [] in
+  for _ = 1 to count do
+    let level = g8 r in
+    let digit = g8 r in
+    let state = get_state r in
+    let node = get_id r p in
+    if level >= p.d || digit >= p.b then malformed "cell position (%d,%d) out of range" level digit;
+    cells := { Snapshot.level; digit; state; node } :: !cells
+  done;
+  Snapshot.of_cells ~owner (List.rev !cells)
+
+let get_bitmap r (p : Params.t) =
+  let nbytes = bitmap_bytes p in
+  need r nbytes;
+  let positions = ref [] in
+  for bit = (p.d * p.b) - 1 downto 0 do
+    let i = bit / 8 and off = bit mod 8 in
+    if Char.code r.data.[r.pos + i] land (1 lsl off) <> 0 then
+      positions := (bit / p.b, bit mod p.b) :: !positions
+  done;
+  r.pos <- r.pos + nbytes;
+  !positions
+
+(* ---- message framing ---- *)
+
+let tag (m : Message.t) = Message.kind_index (Message.kind m)
+
+let encode p (m : Message.t) =
+  let w = Buffer.create 64 in
+  u8 w (tag m);
+  (match m with
+  | Cp_rst { level } -> u8 w level
+  | Cp_rly { table } -> put_snapshot w p table
+  | Join_wait -> ()
+  | Join_wait_rly { sign; occupant; table } ->
+    put_sign w sign;
+    put_id w p occupant;
+    put_snapshot w p table
+  | Join_noti { table; noti_level; filled } ->
+    u8 w noti_level;
+    (match filled with
+    | None -> u8 w 0
+    | Some positions ->
+      u8 w 1;
+      put_bitmap w p positions);
+    put_snapshot w p table
+  | Join_noti_rly { sign; table; flag } ->
+    put_sign w sign;
+    u8 w (if flag then 1 else 0);
+    put_snapshot w p table
+  | In_sys_noti -> ()
+  | Spe_noti { origin; subject } ->
+    put_id w p origin;
+    put_id w p subject
+  | Spe_noti_rly { origin; subject } ->
+    put_id w p origin;
+    put_id w p subject
+  | Rv_ngh_noti { level; digit; recorded } ->
+    u8 w level;
+    u8 w digit;
+    put_state w recorded
+  | Rv_ngh_noti_rly { level; digit; state } ->
+    u8 w level;
+    u8 w digit;
+    put_state w state);
+  Buffer.contents w
+
+let decode_exn p data =
+  let r = { data; pos = 0 } in
+  let m : Message.t =
+    match g8 r with
+    | 0 ->
+      let level = g8 r in
+      if level >= p.Params.d then malformed "CpRst level %d out of range" level;
+      Cp_rst { level }
+    | 1 -> Cp_rly { table = get_snapshot r p }
+    | 2 -> Join_wait
+    | 3 ->
+      let sign = get_sign r in
+      let occupant = get_id r p in
+      let table = get_snapshot r p in
+      Join_wait_rly { sign; occupant; table }
+    | 4 ->
+      let noti_level = g8 r in
+      if noti_level >= p.Params.d then malformed "noti_level %d out of range" noti_level;
+      let filled =
+        match g8 r with
+        | 0 -> None
+        | 1 -> Some (get_bitmap r p)
+        | v -> malformed "bad bitmap flag %d" v
+      in
+      let table = get_snapshot r p in
+      Join_noti { table; noti_level; filled }
+    | 5 ->
+      let sign = get_sign r in
+      let flag = match g8 r with 0 -> false | 1 -> true | v -> malformed "bad flag %d" v in
+      let table = get_snapshot r p in
+      Join_noti_rly { sign; table; flag }
+    | 6 -> In_sys_noti
+    | 7 ->
+      let origin = get_id r p in
+      let subject = get_id r p in
+      Spe_noti { origin; subject }
+    | 8 ->
+      let origin = get_id r p in
+      let subject = get_id r p in
+      Spe_noti_rly { origin; subject }
+    | 9 ->
+      let level = g8 r in
+      let digit = g8 r in
+      let recorded = get_state r in
+      if level >= p.Params.d || digit >= p.Params.b then
+        malformed "RvNghNoti position (%d,%d) out of range" level digit;
+      Rv_ngh_noti { level; digit; recorded }
+    | 10 ->
+      let level = g8 r in
+      let digit = g8 r in
+      let state = get_state r in
+      if level >= p.Params.d || digit >= p.Params.b then
+        malformed "RvNghNotiRly position (%d,%d) out of range" level digit;
+      Rv_ngh_noti_rly { level; digit; state }
+    | t -> malformed "unknown message tag %d" t
+  in
+  if r.pos <> String.length data then
+    malformed "trailing garbage: %d bytes" (String.length data - r.pos);
+  m
+
+let decode p data =
+  match decode_exn p data with
+  | m -> Ok m
+  | exception Malformed msg -> Error msg
+
+let snapshot_size p snap = id_bytes p + 2 + (Snapshot.cell_count snap * (3 + id_bytes p))
+
+let encoded_size p (m : Message.t) =
+  1
+  +
+  match m with
+  | Cp_rst _ -> 1
+  | Cp_rly { table } -> snapshot_size p table
+  | Join_wait -> 0
+  | Join_wait_rly { table; _ } -> 1 + id_bytes p + snapshot_size p table
+  | Join_noti { table; filled; _ } ->
+    2 + (match filled with None -> 0 | Some _ -> bitmap_bytes p) + snapshot_size p table
+  | Join_noti_rly { table; _ } -> 2 + snapshot_size p table
+  | In_sys_noti -> 0
+  | Spe_noti _ | Spe_noti_rly _ -> 2 * id_bytes p
+  | Rv_ngh_noti _ | Rv_ngh_noti_rly _ -> 3

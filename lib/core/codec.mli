@@ -1,0 +1,22 @@
+(** Binary wire format for protocol messages.
+
+    The simulator passes messages in memory; this codec is what a production
+    deployment would put on the wire, and it grounds the byte accounting of
+    {!Message.size_bytes}: identifiers are bit-packed ([ceil(d log2 b / 8)]
+    bytes), table snapshots are sparse cell lists, and the Section 6.2 bit
+    vector is encoded as an actual [d*b]-bit map.
+
+    The format is self-contained given the namespace parameters: one kind
+    byte, then kind-specific fields, all little-endian. Decoding validates
+    every field against the parameters and never trusts lengths from the
+    wire beyond the buffer. *)
+
+val encode : Ntcu_id.Params.t -> Message.t -> string
+
+val decode : Ntcu_id.Params.t -> string -> (Message.t, string) result
+(** Inverse of {!encode}: [decode p (encode p m)] returns [Ok m'] with [m']
+    structurally equal to [m]. Malformed input yields [Error] with a
+    diagnostic, never an exception. *)
+
+val encoded_size : Ntcu_id.Params.t -> Message.t -> int
+(** [String.length (encode p m)], without building the string. *)

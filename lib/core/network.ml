@@ -1,0 +1,219 @@
+module Id = Ntcu_id.Id
+module Table = Ntcu_table.Table
+module Engine = Ntcu_sim.Engine
+module Latency = Ntcu_sim.Latency
+
+type t = {
+  params : Ntcu_id.Params.t;
+  node_config : Node.config;
+  engine : Engine.t;
+  latency : Latency.t;
+  nodes : Node.t Id.Tbl.t;
+  host_of : int Id.Tbl.t; (* dense host index for the latency model *)
+  mutable next_host : int;
+  mutable order : Id.t list; (* registration order, newest first *)
+  global : Stats.t;
+  trace : Ntcu_sim.Trace.t option;
+  mutable delivered : int;
+  failed : unit Id.Tbl.t;
+  mutable dropped : int;
+  loss : (float * Ntcu_std.Rng.t) option;
+  mutable lost : int;
+}
+
+let create ?latency ?(size_mode = Message.Full) ?(record_trace = false) ?loss params =
+  let latency = match latency with Some l -> l | None -> Latency.constant 1.0 in
+  let loss =
+    match loss with
+    | None -> None
+    | Some (probability, _) when probability <= 0. -> None
+    | Some (probability, seed) ->
+      if probability >= 1. then invalid_arg "Network.create: loss probability must be < 1";
+      Some (probability, Ntcu_std.Rng.create seed)
+  in
+  {
+    params;
+    node_config = { Node.params; size_mode };
+    engine = Engine.create ();
+    latency;
+    nodes = Id.Tbl.create 1024;
+    host_of = Id.Tbl.create 1024;
+    next_host = 0;
+    order = [];
+    global = Stats.create ();
+    trace = (if record_trace then Some (Ntcu_sim.Trace.create ()) else None);
+    delivered = 0;
+    failed = Id.Tbl.create 16;
+    dropped = 0;
+    loss;
+    lost = 0;
+  }
+
+let params t = t.params
+let engine t = t.engine
+let trace t = t.trace
+
+let register t node =
+  let id = Node.id node in
+  if Id.Tbl.mem t.nodes id then
+    invalid_arg (Fmt.str "Network: node %a already registered" Id.pp id);
+  Id.Tbl.add t.nodes id node;
+  Id.Tbl.add t.host_of id t.next_host;
+  t.next_host <- t.next_host + 1;
+  t.order <- id :: t.order
+
+let node t id = Id.Tbl.find_opt t.nodes id
+
+let node_exn t id =
+  match node t id with
+  | Some n -> n
+  | None -> invalid_arg (Fmt.str "Network: unknown node %a" Id.pp id)
+
+let host t id = Id.Tbl.find t.host_of id
+
+let rec send t ~src ~dst msg =
+  if Id.equal src dst then
+    invalid_arg (Fmt.str "Network.send: %a sending %a to itself" Id.pp src Message.pp msg);
+  Stats.record_sent (Node.stats (node_exn t src)) t.params msg;
+  Stats.record_sent t.global t.params msg;
+  let in_transit_loss =
+    match t.loss with
+    | Some (probability, rng) -> Ntcu_std.Rng.float rng 1.0 < probability
+    | None -> false
+  in
+  if in_transit_loss then t.lost <- t.lost + 1
+  else begin
+    let delay = Latency.sample t.latency ~src:(host t src) ~dst:(host t dst) in
+    let delay = if delay <= 0. then 1e-6 else delay in
+    Engine.schedule t.engine ~delay (fun () -> deliver t ~src ~dst msg)
+  end
+
+and deliver t ~src ~dst msg =
+  match Id.Tbl.find_opt t.nodes dst with
+  | None ->
+    (* Destination departed while the message was in flight. *)
+    t.dropped <- t.dropped + 1
+  | Some _ when Id.Tbl.mem t.failed dst -> t.dropped <- t.dropped + 1
+  | Some receiver -> deliver_live t ~src ~dst receiver msg
+
+and deliver_live t ~src ~dst receiver msg =
+  t.delivered <- t.delivered + 1;
+  Stats.record_received (Node.stats receiver) t.params msg;
+  Stats.record_received t.global t.params msg;
+  (match t.trace with
+  | Some tr ->
+    Ntcu_sim.Trace.record tr (Engine.now t.engine)
+      (Fmt.str "%a -> %a : %a" Id.pp src Id.pp dst Message.pp msg)
+  | None -> ());
+  let actions = Node.handle receiver ~now:(Engine.now t.engine) ~src msg in
+  List.iter (fun { Node.dst = d; msg = m } -> send t ~src:dst ~dst:d m) actions
+
+let add_seed_node t id = register t (Node.create_seed t.node_config id)
+
+(* Map from suffix to the members carrying it, for consistent seeding. *)
+let suffix_members ids =
+  let members : (int array, Id.t list ref) Hashtbl.t = Hashtbl.create 4096 in
+  List.iter
+    (fun id ->
+      for len = 1 to Id.length id do
+        let suffix = Id.suffix id len in
+        match Hashtbl.find_opt members suffix with
+        | Some l -> l := id :: !l
+        | None -> Hashtbl.add members suffix (ref [ id ])
+      done)
+    ids;
+  members
+
+let seed_consistent t ~seed ids =
+  if ids = [] then invalid_arg "Network.seed_consistent: empty node list";
+  let rng = Ntcu_std.Rng.create seed in
+  List.iter (fun id -> add_seed_node t id) ids;
+  let members = suffix_members ids in
+  let candidates_of suffix =
+    match Hashtbl.find_opt members suffix with
+    | Some l -> Array.of_list !l
+    | None -> [||]
+  in
+  List.iter
+    (fun id ->
+      let n = node_exn t id in
+      let table = Node.table n in
+      for level = 0 to t.params.d - 1 do
+        for digit = 0 to t.params.b - 1 do
+          if digit <> Id.digit id level then begin
+            let suffix = Table.required_suffix table ~level ~digit in
+            let cands = candidates_of suffix in
+            if Array.length cands > 0 then begin
+              let chosen = Ntcu_std.Rng.pick rng cands in
+              Table.set table ~level ~digit chosen S;
+              (* Register the storer as a reverse neighbor of the chosen
+                 node, as the protocol's RvNghNotiMsg traffic would have. *)
+              let chosen_table = Node.table (node_exn t chosen) in
+              Table.add_reverse chosen_table ~level ~digit id
+            end
+          end
+        done
+      done)
+    ids
+
+let start_join t ?at ~id ~gateway () =
+  if Id.Tbl.mem t.nodes id then
+    invalid_arg (Fmt.str "Network.start_join: %a already present" Id.pp id);
+  ignore (node_exn t gateway);
+  let joiner = Node.create_joiner t.node_config id in
+  register t joiner;
+  let time = match at with Some time -> time | None -> Engine.now t.engine in
+  Engine.schedule_at t.engine ~time (fun () ->
+      let actions = Node.begin_join joiner ~now:(Engine.now t.engine) ~gateway in
+      List.iter (fun { Node.dst = d; msg = m } -> send t ~src:id ~dst:d m) actions)
+
+let run ?max_events t = Engine.run ?max_events t.engine
+
+let remove t id =
+  if not (Id.Tbl.mem t.nodes id) then
+    invalid_arg (Fmt.str "Network.remove: unknown node %a" Id.pp id);
+  Id.Tbl.remove t.nodes id;
+  Id.Tbl.remove t.failed id;
+  (* The host index stays allocated: latency models may be keyed by it, and
+     indices are never reused. *)
+  t.order <- List.filter (fun other -> not (Id.equal other id)) t.order
+
+let fail t id =
+  if not (Id.Tbl.mem t.nodes id) then
+    invalid_arg (Fmt.str "Network.fail: unknown node %a" Id.pp id);
+  if Id.Tbl.mem t.failed id then
+    invalid_arg (Fmt.str "Network.fail: %a already failed" Id.pp id);
+  Id.Tbl.replace t.failed id ()
+
+let is_failed t id = Id.Tbl.mem t.failed id
+
+let messages_dropped t = t.dropped
+
+let messages_lost t = t.lost
+
+let size t = Id.Tbl.length t.nodes
+let mem t id = Id.Tbl.mem t.nodes id
+let ids t = List.rev t.order
+
+let live_ids t = List.filter (fun id -> not (is_failed t id)) (ids t)
+
+let nodes t = List.map (fun id -> node_exn t id) (live_ids t)
+
+let joiners t = List.filter Node.is_joiner (nodes t)
+
+let tables t = List.map Node.table (nodes t)
+
+let all_in_system t = List.for_all (fun n -> Node.status n = Node.In_system) (nodes t)
+
+let stuck_joiners t =
+  List.filter
+    (fun n -> Node.is_joiner n && Node.status n <> Node.In_system)
+    (nodes t)
+
+let is_quiescent t = Engine.pending t.engine = 0
+
+let check_consistent t = Ntcu_table.Check.violations (tables t)
+
+let global_stats t = t.global
+
+let messages_delivered t = t.delivered

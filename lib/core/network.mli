@@ -1,0 +1,107 @@
+(** A simulated hypercube-routing network: node registry, message transport
+    over the discrete-event engine, and experiment entry points.
+
+    Nodes are {!Node.t} state machines; this module delivers their messages
+    with latencies drawn from a {!Ntcu_sim.Latency.t} model and keeps global
+    statistics. *)
+
+type t
+
+val create :
+  ?latency:Ntcu_sim.Latency.t ->
+  ?size_mode:Message.size_mode ->
+  ?record_trace:bool ->
+  ?loss:float * int ->
+  Ntcu_id.Params.t ->
+  t
+(** Default latency: constant 1.0 ms. Default size mode: [Full].
+
+    [loss] is [(probability, seed)]: each message is independently dropped in
+    transit with the given probability — deliberately violating the paper's
+    reliable-delivery assumption (iii) so its necessity can be measured
+    (joins then wedge short of [in_system]). Default: no loss. *)
+
+val params : t -> Ntcu_id.Params.t
+val engine : t -> Ntcu_sim.Engine.t
+val trace : t -> Ntcu_sim.Trace.t option
+
+(** {1 Building the initial network} *)
+
+val add_seed_node : t -> Ntcu_id.Id.t -> unit
+(** Add a single S-node with only self-entries filled — the Section 6.1
+    starting point. Consistent on its own, or alongside other seed nodes iff
+    tables are completed by {!seed_consistent}. *)
+
+val seed_consistent : t -> seed:int -> Ntcu_id.Id.t list -> unit
+(** Install the given nodes as a consistent network [<V, N(V)>]: every entry
+    whose required suffix is carried by some member is filled with a
+    pseudo-randomly chosen such member (deterministic in [seed]), and reverse
+    neighbor sets are registered accordingly. This stands in for a network
+    built by prior joins, as in the paper's simulation setup.
+    @raise Invalid_argument on duplicate IDs or an empty list. *)
+
+(** {1 Joins} *)
+
+val start_join : t -> ?at:float -> id:Ntcu_id.Id.t -> gateway:Ntcu_id.Id.t -> unit -> unit
+(** Schedule a join to begin at time [at] (default: now). The gateway must be
+    a registered node (assumption (ii) of the paper).
+    @raise Invalid_argument if [id] is already registered. *)
+
+val run : ?max_events:int -> t -> unit
+(** Run the simulation to quiescence. *)
+
+val remove : t -> Ntcu_id.Id.t -> unit
+(** Unregister a node (used by the leave-protocol extensions). The caller is
+    responsible for having repaired other nodes' tables first;
+    {!check_consistent} will report dangling entries otherwise. Messages
+    still in flight towards the removed node are silently dropped (and
+    counted by {!messages_dropped}).
+    @raise Invalid_argument if unknown. *)
+
+val fail : t -> Ntcu_id.Id.t -> unit
+(** Crash a node: it stays registered (so its identity and host index
+    survive) but never processes another message; deliveries to it are
+    dropped. Models fail-stop failures for the recovery extension.
+    @raise Invalid_argument if unknown or already failed. *)
+
+val is_failed : t -> Ntcu_id.Id.t -> bool
+
+val live_ids : t -> Ntcu_id.Id.t list
+(** Registration-ordered ids excluding failed nodes. *)
+
+val messages_dropped : t -> int
+(** Deliveries to failed or removed nodes. *)
+
+val messages_lost : t -> int
+(** Messages dropped in transit by the loss model. *)
+
+val stuck_joiners : t -> Node.t list
+(** Joiners that never reached [in_system] (possible only when an assumption
+    of the paper — reliable delivery, no deletion during joins — was
+    deliberately violated). *)
+
+(** {1 Inspection} *)
+
+val size : t -> int
+val mem : t -> Ntcu_id.Id.t -> bool
+val node : t -> Ntcu_id.Id.t -> Node.t option
+val node_exn : t -> Ntcu_id.Id.t -> Node.t
+val nodes : t -> Node.t list
+val joiners : t -> Node.t list
+val ids : t -> Ntcu_id.Id.t list
+val tables : t -> Ntcu_table.Table.t list
+
+val all_in_system : t -> bool
+(** Theorem 2's liveness condition: every node reached status [in_system]. *)
+
+val is_quiescent : t -> bool
+(** No events pending. *)
+
+val check_consistent : t -> Ntcu_table.Check.violation list
+(** Definition 3.8 over the whole network; empty iff consistent. *)
+
+val global_stats : t -> Stats.t
+(** Totals across all nodes (each message counted once as sent, once as
+    received). *)
+
+val messages_delivered : t -> int

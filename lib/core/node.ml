@@ -1,0 +1,446 @@
+module Id = Ntcu_id.Id
+module Table = Ntcu_table.Table
+module Snapshot = Table.Snapshot
+
+type status = Copying | Waiting | Notifying | In_system
+
+let pp_status ppf s =
+  Fmt.string ppf
+    (match s with
+    | Copying -> "copying"
+    | Waiting -> "waiting"
+    | Notifying -> "notifying"
+    | In_system -> "in_system")
+
+type config = { params : Ntcu_id.Params.t; size_mode : Message.size_mode }
+
+type action = { dst : Id.t; msg : Message.t }
+
+type t = {
+  config : config;
+  id : Id.t;
+  table : Table.t;
+  stats : Stats.t;
+  joiner : bool;
+  mutable status : status;
+  mutable noti_level : int;
+  mutable q_r : Id.Set.t; (* nodes whose reply we await *)
+  mutable q_n : Id.Set.t; (* nodes we have notified *)
+  mutable q_j : Id.t list; (* deferred JoinWaitMsg senders, FIFO *)
+  mutable q_sr : Id.Set.t; (* SpeNoti subjects whose reply we await *)
+  mutable q_sn : Id.Set.t; (* SpeNoti subjects already handled *)
+  (* Copying-phase cursor (Figure 5's i, p, g). *)
+  mutable copy_level : int;
+  mutable copy_from : Id.t option; (* the node whose table we are copying *)
+  mutable t_begin : float option;
+  mutable t_end : float option;
+}
+
+let make config id ~joiner ~status =
+  {
+    config;
+    id;
+    table = Table.create config.params ~owner:id;
+    stats = Stats.create ();
+    joiner;
+    status;
+    noti_level = 0;
+    q_r = Id.Set.empty;
+    q_n = Id.Set.empty;
+    q_j = [];
+    q_sr = Id.Set.empty;
+    q_sn = Id.Set.empty;
+    copy_level = 0;
+    copy_from = None;
+    t_begin = None;
+    t_end = None;
+  }
+
+let create_seed config id =
+  let t = make config id ~joiner:false ~status:In_system in
+  Table.fill_self t.table S;
+  t
+
+let create_joiner config id = make config id ~joiner:true ~status:Copying
+
+let id t = t.id
+let status t = t.status
+let table t = t.table
+let stats t = t.stats
+let noti_level t = t.noti_level
+let is_joiner t = t.joiner
+let t_begin t = t.t_begin
+let t_end t = t.t_end
+let pending_replies t = Id.Set.cardinal t.q_r + Id.Set.cardinal t.q_sr
+let queued_join_waits t = List.length t.q_j
+
+let digit_of _t other level = Id.digit other level
+
+let csuf t other = Id.csuf_len t.id other
+
+(* Write [node] into the (level, digit)-entry and emit the RvNghNotiMsg that
+   the paper's pseudo-code elides ("when any node x sets Nx(i,j) = y, y <> x,
+   x needs to send a RvNghNotiMsg"). *)
+let set_entry t ~level ~digit node state acts =
+  Table.set t.table ~level ~digit node state;
+  if Id.equal node t.id then acts
+  else { dst = node; msg = Message.Rv_ngh_noti { level; digit; recorded = state } } :: acts
+
+(* ---- Snapshot construction per the configured size mode (Section 6.2) ---- *)
+
+let snap_full t = Snapshot.of_table t.table
+
+let snap_cp_rly t ~level =
+  match t.config.size_mode with
+  | Message.Full -> snap_full t
+  | Message.Level_range | Message.Bit_vector ->
+    (* The joining node copies only the requested level, so that is all we
+       send. Safe: Figure 5 reads nothing else from the reply. *)
+    Snapshot.of_table_levels t.table ~lo:level ~hi:level
+
+let snap_join_noti t ~recipient =
+  match t.config.size_mode with
+  | Message.Full -> snap_full t
+  | Message.Level_range | Message.Bit_vector ->
+    (* "Only including level-i, i = x.noti_level, to level-k,
+       k = |csuf(x.ID, y.ID)|, is enough." *)
+    Snapshot.of_table_levels t.table ~lo:t.noti_level ~hi:(csuf t recipient)
+
+let filled_positions t =
+  Table.fold t.table ~init:[] ~f:(fun acc ~level ~digit _ _ -> (level, digit) :: acc)
+
+let snap_join_noti_rly t ~sender_noti_level ~sender_filled =
+  match (t.config.size_mode, sender_filled) with
+  | (Message.Full | Message.Level_range), _ | Message.Bit_vector, None -> snap_full t
+  | Message.Bit_vector, Some filled ->
+    (* The reply omits low-level entries the sender already has: include
+       level >= the sender's noti_level, or positions marked '0' in its bit
+       vector. *)
+    let filled_tbl = Hashtbl.create 64 in
+    List.iter (fun pos -> Hashtbl.replace filled_tbl pos ()) filled;
+    Snapshot.filter (snap_full t) ~f:(fun (c : Snapshot.cell) ->
+        c.level >= sender_noti_level || not (Hashtbl.mem filled_tbl (c.level, c.digit)))
+
+let join_noti_msg t ~recipient =
+  let filled =
+    match t.config.size_mode with
+    | Message.Full | Message.Level_range -> None
+    | Message.Bit_vector -> Some (filled_positions t)
+  in
+  Message.Join_noti
+    { table = snap_join_noti t ~recipient; noti_level = t.noti_level; filled }
+
+(* ---- Switch_To_S_Node (Figure 13) ---- *)
+
+let switch_to_s_node t ~now acts =
+  assert (t.status = Notifying || t.status = Waiting);
+  t.status <- In_system;
+  t.t_end <- Some now;
+  let p = t.config.params in
+  for level = 0 to p.d - 1 do
+    Table.set_state t.table ~level ~digit:(Id.digit t.id level) S
+  done;
+  let acts =
+    Id.Set.fold
+      (fun v acc ->
+        if Id.equal v t.id then acc else { dst = v; msg = Message.In_sys_noti } :: acc)
+      (Table.all_reverse t.table) acts
+  in
+  let acts =
+    List.fold_left
+      (fun acc u ->
+        let k = csuf t u in
+        match Table.neighbor t.table ~level:k ~digit:(digit_of t u k) with
+        | None ->
+          let acc = set_entry t ~level:k ~digit:(digit_of t u k) u T acc in
+          {
+            dst = u;
+            msg =
+              Message.Join_wait_rly
+                { sign = Positive; occupant = u; table = snap_full t };
+          }
+          :: acc
+        | Some occupant when Id.equal occupant u ->
+          (* The entry already holds u (filled via another path while we were
+             still joining): u is stored, so the reply is positive. Figure 13
+             would send a negative reply naming u itself, which would make u
+             forward a JoinWaitMsg to itself. *)
+          {
+            dst = u;
+            msg =
+              Message.Join_wait_rly
+                { sign = Positive; occupant = u; table = snap_full t };
+          }
+          :: acc
+        | Some occupant ->
+          {
+            dst = u;
+            msg = Message.Join_wait_rly { sign = Negative; occupant; table = snap_full t };
+          }
+          :: acc)
+      acts (List.rev t.q_j)
+  in
+  t.q_j <- [];
+  acts
+
+let maybe_switch t ~now acts =
+  if t.status = Notifying && Id.Set.is_empty t.q_r && Id.Set.is_empty t.q_sr then
+    switch_to_s_node t ~now acts
+  else acts
+
+(* ---- Check_Ngh_Table (Figure 8) ---- *)
+
+let check_ngh_table t snapshot acts =
+  let acts = ref acts in
+  Snapshot.iter snapshot (fun (c : Snapshot.cell) ->
+      if not (Id.equal c.node t.id) then begin
+        let u = c.node in
+        let k = csuf t u in
+        let j = digit_of t u k in
+        (match Table.neighbor t.table ~level:k ~digit:j with
+        | None -> acts := set_entry t ~level:k ~digit:j u c.state !acts
+        | Some _ ->
+          (* Entry taken: keep the extra suffix-holder as a backup neighbor
+             for fault-tolerant routing (Section 2.1). *)
+          ignore (Table.add_backup t.table ~level:k ~digit:j u));
+        if t.status = Notifying && k >= t.noti_level && not (Id.Set.mem u t.q_n) then begin
+          acts := { dst = u; msg = join_noti_msg t ~recipient:u } :: !acts;
+          t.q_n <- Id.Set.add u t.q_n;
+          t.q_r <- Id.Set.add u t.q_r
+        end
+      end);
+  !acts
+
+(* ---- Action in status copying (Figure 5) ---- *)
+
+let begin_join t ~now ~gateway =
+  if t.status <> Copying || t.t_begin <> None then
+    invalid_arg "Node.begin_join: join already started";
+  if Id.equal gateway t.id then invalid_arg "Node.begin_join: gateway is the node itself";
+  t.t_begin <- Some now;
+  t.copy_level <- 0;
+  t.copy_from <- Some gateway;
+  [ { dst = gateway; msg = Message.Cp_rst { level = 0 } } ]
+
+(* Stop copying: install self-entries, move to waiting, send the JoinWaitMsg
+   (to the last copied node when no next-level node exists, or to the T-node
+   that blocked the copy walk). *)
+let finish_copying t ~join_wait_target acts =
+  let p = t.config.params in
+  for level = 0 to p.d - 1 do
+    Table.set t.table ~level ~digit:(Id.digit t.id level) t.id T
+  done;
+  t.status <- Waiting;
+  t.copy_from <- None;
+  t.q_n <- Id.Set.add join_wait_target t.q_n;
+  t.q_r <- Id.Set.add join_wait_target t.q_r;
+  { dst = join_wait_target; msg = Message.Join_wait } :: acts
+
+let on_cp_rly t ~src snapshot =
+  assert (t.status = Copying);
+  assert (match t.copy_from with Some g -> Id.equal g src | None -> false);
+  let level = t.copy_level in
+  (* Copy level-i neighbors of g into level-i of our table. *)
+  let acts = ref [] in
+  Snapshot.iter snapshot (fun (c : Snapshot.cell) ->
+      if c.level = level && not (Id.equal c.node t.id) then
+        acts := set_entry t ~level ~digit:c.digit c.node c.state !acts);
+  (* g' = Np(i, x[i]); continue while it exists and is an S-node. *)
+  let own_digit = Id.digit t.id level in
+  match Snapshot.find snapshot ~level ~digit:own_digit with
+  | Some { node = next; state = S; _ } when not (Id.equal next t.id) ->
+    t.copy_level <- level + 1;
+    t.copy_from <- Some next;
+    { dst = next; msg = Message.Cp_rst { level = level + 1 } } :: !acts
+  | Some { node = next; state = T; _ } when not (Id.equal next t.id) ->
+    finish_copying t ~join_wait_target:next !acts
+  | Some _ | None -> finish_copying t ~join_wait_target:src !acts
+
+(* ---- Action on receiving JoinWaitMsg (Figure 6) ---- *)
+
+let on_join_wait t ~src =
+  let k = csuf t src in
+  let j = digit_of t src k in
+  if t.status = In_system then begin
+    match Table.neighbor t.table ~level:k ~digit:j with
+    | Some occupant when not (Id.equal occupant src) ->
+      (* Refused as primary, but a valid holder of the suffix: keep it as a
+         backup neighbor. *)
+      ignore (Table.add_backup t.table ~level:k ~digit:j src);
+      [
+        {
+          dst = src;
+          msg = Message.Join_wait_rly { sign = Negative; occupant; table = snap_full t };
+        };
+      ]
+    | Some _ | None ->
+      let acts = set_entry t ~level:k ~digit:j src T [] in
+      {
+        dst = src;
+        msg = Message.Join_wait_rly { sign = Positive; occupant = src; table = snap_full t };
+      }
+      :: acts
+  end
+  else begin
+    if not (List.exists (Id.equal src) t.q_j) then t.q_j <- t.q_j @ [ src ];
+    []
+  end
+
+(* ---- Action on receiving JoinWaitRlyMsg (Figure 7) ---- *)
+
+let on_join_wait_rly t ~now ~src sign occupant snapshot =
+  t.q_r <- Id.Set.remove src t.q_r;
+  let k = csuf t src in
+  (match Table.neighbor t.table ~level:k ~digit:(digit_of t src k) with
+  | Some n when Id.equal n src -> Table.set_state t.table ~level:k ~digit:(digit_of t src k) S
+  | Some _ | None -> ());
+  let acts =
+    match sign with
+    | Message.Positive ->
+      t.status <- Notifying;
+      t.noti_level <- k;
+      Table.add_reverse t.table ~level:k ~digit:(Id.digit t.id k) src;
+      []
+    | Message.Negative ->
+      if Id.equal occupant t.id then
+        (* Defensive: a negative reply naming ourselves means we are stored;
+           treat as positive (see switch_to_s_node). *)
+        begin
+          t.status <- Notifying;
+          t.noti_level <- k;
+          []
+        end
+      else begin
+        t.q_n <- Id.Set.add occupant t.q_n;
+        t.q_r <- Id.Set.add occupant t.q_r;
+        [ { dst = occupant; msg = Message.Join_wait } ]
+      end
+  in
+  let acts = check_ngh_table t snapshot acts in
+  maybe_switch t ~now acts
+
+(* ---- Action on receiving JoinNotiMsg (Figure 9) ---- *)
+
+let on_join_noti t ~src (snapshot : Snapshot.t) =
+  let k = csuf t src in
+  let j = digit_of t src k in
+  let acts =
+    if Table.neighbor t.table ~level:k ~digit:j = None then
+      set_entry t ~level:k ~digit:j src T []
+    else []
+  in
+  (* f: the sender's table does not name us as its (k, y[k])-neighbor even
+     though we are an S-node, so the actual occupant must be told about us. *)
+  let flag =
+    t.status = In_system
+    &&
+    match Snapshot.find snapshot ~level:k ~digit:(Id.digit t.id k) with
+    | Some { node; _ } -> not (Id.equal node t.id)
+    | None -> true
+  in
+  let sign =
+    match Table.neighbor t.table ~level:k ~digit:j with
+    | Some n when Id.equal n src -> Message.Positive
+    | Some _ | None -> Message.Negative
+  in
+  (acts, sign, flag)
+
+(* ---- Action on receiving JoinNotiRlyMsg (Figure 10) ---- *)
+
+let on_join_noti_rly t ~now ~src sign snapshot flag =
+  t.q_r <- Id.Set.remove src t.q_r;
+  let k = csuf t src in
+  if sign = Message.Positive then
+    Table.add_reverse t.table ~level:k ~digit:(Id.digit t.id k) src;
+  let acts =
+    if flag && k > t.noti_level && not (Id.Set.mem src t.q_sn) then begin
+      match Table.neighbor t.table ~level:k ~digit:(digit_of t src k) with
+      | Some occupant when not (Id.equal occupant src) ->
+        t.q_sn <- Id.Set.add src t.q_sn;
+        t.q_sr <- Id.Set.add src t.q_sr;
+        [ { dst = occupant; msg = Message.Spe_noti { origin = t.id; subject = src } } ]
+      | Some _ | None -> []
+    end
+    else []
+  in
+  let acts = check_ngh_table t snapshot acts in
+  maybe_switch t ~now acts
+
+(* ---- Action on receiving SpeNotiMsg (Figure 11) ---- *)
+
+let on_spe_noti t origin subject =
+  let k = Id.csuf_len subject t.id in
+  let j = Id.digit subject k in
+  let acts =
+    if Table.neighbor t.table ~level:k ~digit:j = None then
+      set_entry t ~level:k ~digit:j subject S []
+    else []
+  in
+  match Table.neighbor t.table ~level:k ~digit:j with
+  | Some n when not (Id.equal n subject) ->
+    { dst = n; msg = Message.Spe_noti { origin; subject } } :: acts
+  | Some _ | None ->
+    { dst = origin; msg = Message.Spe_noti_rly { origin; subject } } :: acts
+
+let on_spe_noti_rly t ~now subject =
+  t.q_sr <- Id.Set.remove subject t.q_sr;
+  maybe_switch t ~now []
+
+(* ---- Action on receiving InSysNotiMsg (Figure 14) ---- *)
+
+let on_in_sys_noti t ~src =
+  let k = csuf t src in
+  let j = digit_of t src k in
+  (match Table.neighbor t.table ~level:k ~digit:j with
+  | Some n when Id.equal n src -> Table.set_state t.table ~level:k ~digit:j S
+  | Some _ | None -> ());
+  []
+
+(* ---- Reverse-neighbor bookkeeping (Figure 4's RvNghNotiMsg) ---- *)
+
+let on_rv_ngh_noti t ~src ~level ~digit recorded =
+  Table.add_reverse t.table ~level ~digit src;
+  let actual : Ntcu_table.Table.nstate = if t.status = In_system then S else T in
+  if actual <> recorded then
+    [ { dst = src; msg = Message.Rv_ngh_noti_rly { level; digit; state = actual } } ]
+  else []
+
+let on_rv_ngh_noti_rly t ~src ~level ~digit state =
+  (match Table.neighbor t.table ~level ~digit with
+  | Some n when Id.equal n src -> Table.set_state t.table ~level ~digit state
+  | Some _ | None -> ());
+  []
+
+let handle t ~now ~src msg =
+  match msg with
+  | Message.Cp_rst { level } ->
+    [ { dst = src; msg = Message.Cp_rly { table = snap_cp_rly t ~level } } ]
+  | Message.Cp_rly { table } -> on_cp_rly t ~src table
+  | Message.Join_wait -> on_join_wait t ~src
+  | Message.Join_wait_rly { sign; occupant; table } ->
+    on_join_wait_rly t ~now ~src sign occupant table
+  | Message.Join_noti { table; noti_level; filled } ->
+    let acts, sign, flag = on_join_noti t ~src table in
+    let reply =
+      {
+        dst = src;
+        msg =
+          Message.Join_noti_rly
+            {
+              sign;
+              table = snap_join_noti_rly t ~sender_noti_level:noti_level ~sender_filled:filled;
+              flag;
+            };
+      }
+    in
+    let acts = reply :: acts in
+    check_ngh_table t table acts
+  | Message.Join_noti_rly { sign; table; flag } ->
+    on_join_noti_rly t ~now ~src sign table flag
+  | Message.In_sys_noti -> on_in_sys_noti t ~src
+  | Message.Spe_noti { origin; subject } -> on_spe_noti t origin subject
+  | Message.Spe_noti_rly { origin = _; subject } -> on_spe_noti_rly t ~now subject
+  | Message.Rv_ngh_noti { level; digit; recorded } ->
+    on_rv_ngh_noti t ~src ~level ~digit recorded
+  | Message.Rv_ngh_noti_rly { level; digit; state } ->
+    on_rv_ngh_noti_rly t ~src ~level ~digit state

@@ -1,0 +1,62 @@
+(** Join-protocol node state machine (paper, Section 4, Figures 3–14).
+
+    Each node owns a neighbor table and a status. A joining node progresses
+    through [Copying] (building its table level by level from copies),
+    [Waiting] (asking a node to store it), [Notifying] (announcing itself to
+    its notification set), and finally [In_system] (an S-node). Only nodes in
+    the join process hold extra state — the burden of a join is on the joining
+    node, which is the design point the paper argues against Tapestry's
+    multicast join.
+
+    Handlers are pure with respect to the network: they mutate only the node
+    and return the messages to send, which makes the protocol testable without
+    a simulator and keeps the simulator trivial. *)
+
+type status = Copying | Waiting | Notifying | In_system
+
+val pp_status : status Fmt.t
+
+type config = { params : Ntcu_id.Params.t; size_mode : Message.size_mode }
+
+type action = { dst : Ntcu_id.Id.t; msg : Message.t }
+
+type t
+
+val create_seed : config -> Ntcu_id.Id.t -> t
+(** A node of the initial consistent network: status [In_system], self-entries
+    filled with state [S] (Section 6.1). Other entries are filled by the
+    network seeding code. *)
+
+val create_joiner : config -> Ntcu_id.Id.t -> t
+(** A node about to join: status [Copying], empty table. *)
+
+val id : t -> Ntcu_id.Id.t
+val status : t -> status
+val table : t -> Ntcu_table.Table.t
+val stats : t -> Stats.t
+
+val noti_level : t -> int
+(** Meaningful once the node has reached [Notifying]. *)
+
+val is_joiner : t -> bool
+(** True if the node was created with {!create_joiner}. *)
+
+val t_begin : t -> float option
+(** Time the join began (the paper's [t^b_x]); [None] for seed nodes. *)
+
+val t_end : t -> float option
+(** Time the node became an S-node (the paper's [t^e_x]); [None] while still
+    joining and for seed nodes. *)
+
+val pending_replies : t -> int
+(** [|Q_r| + |Q_sr|] — outstanding replies. [0] once [In_system]. *)
+
+val queued_join_waits : t -> int
+(** [|Q_j|] — deferred [JoinWaitMsg] senders. *)
+
+val begin_join : t -> now:float -> gateway:Ntcu_id.Id.t -> action list
+(** Start the join given a known node of the network (assumption (ii)).
+    The node must be in status [Copying] and not have started yet. *)
+
+val handle : t -> now:float -> src:Ntcu_id.Id.t -> Message.t -> action list
+(** Process one delivered message. *)

@@ -1,0 +1,66 @@
+type t = {
+  sent : int array;
+  received : int array;
+  mutable bytes_sent : int;
+  mutable bytes_received : int;
+}
+
+let create () =
+  {
+    sent = Array.make Message.kind_count 0;
+    received = Array.make Message.kind_count 0;
+    bytes_sent = 0;
+    bytes_received = 0;
+  }
+
+let record_sent t p m =
+  let i = Message.kind_index (Message.kind m) in
+  t.sent.(i) <- t.sent.(i) + 1;
+  t.bytes_sent <- t.bytes_sent + Message.size_bytes p m
+
+let record_received t p m =
+  let i = Message.kind_index (Message.kind m) in
+  t.received.(i) <- t.received.(i) + 1;
+  t.bytes_received <- t.bytes_received + Message.size_bytes p m
+
+let sent t k = t.sent.(Message.kind_index k)
+let received t k = t.received.(Message.kind_index k)
+let total_sent t = Array.fold_left ( + ) 0 t.sent
+let total_received t = Array.fold_left ( + ) 0 t.received
+let bytes_sent t = t.bytes_sent
+let bytes_received t = t.bytes_received
+
+let copy_and_wait_sent t = sent t Message.K_cp_rst + sent t Message.K_join_wait
+
+let join_noti_sent t = sent t Message.K_join_noti
+
+let add a b =
+  {
+    sent = Array.map2 ( + ) a.sent b.sent;
+    received = Array.map2 ( + ) a.received b.received;
+    bytes_sent = a.bytes_sent + b.bytes_sent;
+    bytes_received = a.bytes_received + b.bytes_received;
+  }
+
+let all_kinds =
+  [
+    Message.K_cp_rst;
+    Message.K_cp_rly;
+    Message.K_join_wait;
+    Message.K_join_wait_rly;
+    Message.K_join_noti;
+    Message.K_join_noti_rly;
+    Message.K_in_sys_noti;
+    Message.K_spe_noti;
+    Message.K_spe_noti_rly;
+    Message.K_rv_ngh_noti;
+    Message.K_rv_ngh_noti_rly;
+  ]
+
+let pp ppf t =
+  List.iter
+    (fun k ->
+      let s = sent t k and r = received t k in
+      if s > 0 || r > 0 then Fmt.pf ppf "%-16s sent=%-6d recv=%-6d@." (Message.kind_name k) s r)
+    all_kinds;
+  Fmt.pf ppf "bytes: sent=%d recv=%d@." t.bytes_sent t.bytes_received

@@ -1,0 +1,30 @@
+(** Per-node protocol statistics.
+
+    Figure 15 measures the number of [JoinNotiMsg] sent by each joining node;
+    Theorem 3 bounds [CpRstMsg + JoinWaitMsg]. We count every message type in
+    both directions, plus modeled bytes. *)
+
+type t
+
+val create : unit -> t
+
+val record_sent : t -> Ntcu_id.Params.t -> Message.t -> unit
+val record_received : t -> Ntcu_id.Params.t -> Message.t -> unit
+
+val sent : t -> Message.kind -> int
+val received : t -> Message.kind -> int
+val total_sent : t -> int
+val total_received : t -> int
+val bytes_sent : t -> int
+val bytes_received : t -> int
+
+val copy_and_wait_sent : t -> int
+(** [CpRstMsg + JoinWaitMsg] sent — the Theorem 3 quantity. *)
+
+val join_noti_sent : t -> int
+(** The Figure 15 / Theorems 4–5 quantity [J]. *)
+
+val add : t -> t -> t
+(** Pointwise sum (aggregation across nodes). *)
+
+val pp : t Fmt.t

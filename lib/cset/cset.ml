@@ -1,0 +1,298 @@
+module Id = Ntcu_id.Id
+module Table = Ntcu_table.Table
+module Suffix_index = Ntcu_table.Suffix_index
+
+type tree = { suffix : int array; members : Id.Set.t; children : tree list }
+
+(* suffix = x[len-1 .. 0]; extend to the left with digit l. *)
+let extend suffix l =
+  let len = Array.length suffix in
+  Array.init (len + 1) (fun i -> if i = len then l else suffix.(i))
+
+let is_suffix_of shorter longer =
+  let ls = Array.length shorter in
+  ls <= Array.length longer
+  &&
+  let rec go i = i >= ls || (shorter.(i) = longer.(i) && go (i + 1)) in
+  go 0
+
+let noti_suffix v_index x =
+  let d = Id.length x in
+  let rec longest len =
+    if len >= d then len
+    else if Suffix_index.mem v_index (Id.suffix x (len + 1)) then longest (len + 1)
+    else len
+  in
+  Id.suffix x (longest 0)
+
+let template (p : Ntcu_id.Params.t) ~root ~w =
+  let w = List.filter (fun x -> Id.has_suffix x root) w in
+  let rec build suffix members =
+    let children =
+      if Array.length suffix >= p.d then []
+      else
+        List.filter_map
+          (fun l ->
+            let ext = extend suffix l in
+            let sub = List.filter (fun x -> Id.has_suffix x ext) members in
+            if sub = [] then None else Some (build ext sub))
+          (List.init p.b Fun.id)
+    in
+    { suffix; members = Id.Set.of_list members; children }
+  in
+  build root w
+
+let realized ~lookup ~v_root ~root ~w =
+  let w = List.filter (fun x -> Id.has_suffix x root) w in
+  (* C_{l . suffix} = members of W_{l . suffix} stored as (|suffix|, l)-
+     neighbors by at least one member of the parent set. *)
+  let stored_by parents ~level ~digit candidates =
+    (* [u] may be [x] itself: a node's self-entries automatically fill it into
+       descendant C-sets whose suffix is a suffix of its ID (Section 3.3). *)
+    List.filter
+      (fun x ->
+        List.exists
+          (fun u ->
+            match lookup u with
+            | None -> false
+            | Some table -> begin
+              match Table.neighbor table ~level ~digit with
+              | Some y -> Id.equal y x
+              | None -> false
+            end)
+          parents)
+      candidates
+  in
+  let d = match w with x :: _ -> Id.length x | [] -> Array.length root in
+  (* The digit range depends on params; recover b from the tables. *)
+  let b =
+    match v_root @ w with
+    | [] -> invalid_arg "Cset.realized: empty network"
+    | id :: _ -> begin
+      match lookup id with
+      | Some table -> (Table.params table).b
+      | None -> invalid_arg "Cset.realized: no table for root member"
+    end
+  in
+  let rec build suffix parents w_here =
+    let len = Array.length suffix in
+    let children =
+      if len >= d then []
+      else
+        List.filter_map
+          (fun l ->
+            let ext = extend suffix l in
+            let w_ext = List.filter (fun x -> Id.has_suffix x ext) w_here in
+            if w_ext = [] then None
+            else begin
+              let members = stored_by parents ~level:len ~digit:l w_ext in
+              Some (build ext members w_ext)
+            end)
+          (List.init b Fun.id)
+    in
+    { suffix; members = Id.Set.of_list parents; children }
+  in
+  let children =
+    let len = Array.length root in
+    if len >= d then []
+    else
+      List.filter_map
+        (fun l ->
+          let ext = extend root l in
+          let w_ext = List.filter (fun x -> Id.has_suffix x ext) w in
+          if w_ext = [] then None
+          else begin
+            let members = stored_by v_root ~level:len ~digit:l w_ext in
+            Some (build ext members w_ext)
+          end)
+        (List.init b Fun.id)
+  in
+  { suffix = root; members = Id.Set.of_list v_root; children }
+
+let rec same_structure a b =
+  a.suffix = b.suffix
+  && List.length a.children = List.length b.children
+  && List.for_all2 same_structure a.children b.children
+
+let rec no_empty_cset_below t =
+  List.for_all
+    (fun c -> (not (Id.Set.is_empty c.members)) && no_empty_cset_below c)
+    t.children
+
+let no_empty_cset t = no_empty_cset_below t
+
+let rec union_members t =
+  List.fold_left
+    (fun acc c -> Id.Set.union acc (union_members c))
+    t.members t.children
+
+let pp_suffix_or_eps ppf suffix =
+  if Array.length suffix = 0 then Fmt.string ppf "(root)"
+  else Id.pp_suffix ppf suffix
+
+let check_condition1 ~template ~realized =
+  if not (same_structure template realized) then
+    Error "realized C-set tree structure differs from template"
+  else if not (no_empty_cset realized) then Error "realized C-set tree has an empty C-set"
+  else Ok ()
+
+let check_condition2 ~lookup ~v_root ~realized =
+  let level = Array.length realized.suffix in
+  let problems = ref [] in
+  List.iter
+    (fun u ->
+      match lookup u with
+      | None -> problems := Fmt.str "no table for %a" Id.pp u :: !problems
+      | Some table ->
+        List.iter
+          (fun child ->
+            let digit = child.suffix.(level) in
+            match Table.neighbor table ~level ~digit with
+            | Some y when Id.Set.mem y child.members -> ()
+            | Some y ->
+              problems :=
+                Fmt.str "%a stores %a at (%d,%d), not a member of C-set %a" Id.pp u Id.pp
+                  y level digit pp_suffix_or_eps child.suffix
+                :: !problems
+            | None ->
+              problems :=
+                Fmt.str "%a has empty (%d,%d)-entry for C-set %a" Id.pp u level digit
+                  pp_suffix_or_eps child.suffix
+                :: !problems)
+          realized.children)
+    v_root;
+  match !problems with [] -> Ok () | p :: _ -> Error p
+
+(* Path of tree nodes from the root to the leaf whose suffix matches x. *)
+let path_to_leaf tree x =
+  let rec go node acc =
+    match List.find_opt (fun c -> Id.has_suffix x c.suffix) node.children with
+    | Some child -> go child (node :: acc)
+    | None -> node :: acc
+  in
+  go tree [] (* leaf first *)
+
+let check_condition3 ~lookup ~realized ~w =
+  let problems = ref [] in
+  List.iter
+    (fun x ->
+      match lookup x with
+      | None -> problems := Fmt.str "no table for joiner %a" Id.pp x :: !problems
+      | Some table ->
+        let path = path_to_leaf realized x in
+        (* For each node on the path (leaf upward), its siblings are the other
+           children of the next node in [path] (its parent). *)
+        let rec walk = function
+          | child :: (parent :: _ as rest) ->
+            List.iter
+              (fun sibling ->
+                if sibling.suffix <> child.suffix then begin
+                  let level = Array.length sibling.suffix - 1 in
+                  let digit = sibling.suffix.(level) in
+                  match Table.neighbor table ~level ~digit with
+                  | Some y when Id.has_suffix y sibling.suffix -> ()
+                  | Some y ->
+                    problems :=
+                      Fmt.str "%a stores %a at (%d,%d); expected suffix %a" Id.pp x Id.pp
+                        y level digit pp_suffix_or_eps sibling.suffix
+                      :: !problems
+                  | None ->
+                    problems :=
+                      Fmt.str "%a misses sibling C-set %a (empty (%d,%d)-entry)" Id.pp x
+                        pp_suffix_or_eps sibling.suffix level digit
+                      :: !problems
+                end)
+              parent.children;
+            walk rest
+          | [ _ ] | [] -> ()
+        in
+        walk path)
+    w;
+  match !problems with [] -> Ok () | p :: _ -> Error p
+
+let pp_tree ppf tree =
+  let rec go indent t =
+    Fmt.pf ppf "%sC%a = {%a}@." indent pp_suffix_or_eps t.suffix
+      Fmt.(list ~sep:(any ", ") Id.pp)
+      (Id.Set.elements t.members);
+    List.iter (go (indent ^ "  ")) t.children
+  in
+  Fmt.pf ppf "%a (root, members = {%a})@." pp_suffix_or_eps tree.suffix
+    Fmt.(list ~sep:(any ", ") Id.pp)
+    (Id.Set.elements tree.members);
+  List.iter (go "  ") tree.children
+
+type timing = Single | Sequential | Concurrent | Mixed
+
+let pp_timing ppf t =
+  Fmt.string ppf
+    (match t with
+    | Single -> "single"
+    | Sequential -> "sequential"
+    | Concurrent -> "concurrent"
+    | Mixed -> "mixed")
+
+let overlap (b1, e1) (b2, e2) = b1 <= e2 && b2 <= e1
+
+let classify_timing periods =
+  match periods with
+  | [] | [ _ ] -> Single
+  | _ ->
+    let arr = Array.of_list periods in
+    Array.sort (fun (b1, _) (b2, _) -> compare b1 b2) arr;
+    let n = Array.length arr in
+    let sequential = ref true in
+    for i = 0 to n - 2 do
+      let _, e = arr.(i) and b, _ = arr.(i + 1) in
+      if b <= e then sequential := false
+    done;
+    if !sequential then Sequential
+    else begin
+      (* Concurrent: every period overlaps some other, and the union of the
+         periods leaves no gap. *)
+      let each_overlaps =
+        Array.for_all
+          (fun p ->
+            Array.exists (fun q -> p != q && overlap p q) arr)
+          arr
+      in
+      let no_gap = ref true in
+      let cover = ref (snd arr.(0)) in
+      for i = 1 to n - 1 do
+        let b, e = arr.(i) in
+        if b > !cover then no_gap := false;
+        if e > !cover then cover := e
+      done;
+      if each_overlaps && !no_gap then Concurrent else Mixed
+    end
+
+let dependent v_index ~w x y =
+  let wx = noti_suffix v_index x and wy = noti_suffix v_index y in
+  is_suffix_of wx wy || is_suffix_of wy wx
+  || List.exists
+       (fun u ->
+         let wu = noti_suffix v_index u in
+         is_suffix_of wu wx && is_suffix_of wu wy)
+       w
+
+let dependency_groups v_index ~w =
+  let arr = Array.of_list w in
+  let n = Array.length arr in
+  let parent = Array.init n Fun.id in
+  let rec find i = if parent.(i) = i then i else (parent.(i) <- find parent.(i); find parent.(i)) in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(ri) <- rj
+  in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if dependent v_index ~w arr.(i) arr.(j) then union i j
+    done
+  done;
+  let groups = Hashtbl.create 16 in
+  for i = 0 to n - 1 do
+    let r = find i in
+    let l = try Hashtbl.find groups r with Not_found -> [] in
+    Hashtbl.replace groups r (arr.(i) :: l)
+  done;
+  Hashtbl.fold (fun _ l acc -> List.rev l :: acc) groups []

@@ -1,0 +1,95 @@
+(** C-set trees — the paper's conceptual foundation (Sections 3.3 and 5.1).
+
+    When a set [W] of nodes with a common notification set [V_omega] joins,
+    the queries from old nodes to new ones flow through chains of C-sets:
+    [C_{l1.omega}] is the set of new nodes stored as [(k, l1)]-neighbors by
+    members of [V_omega], [C_{l2 l1.omega}] the set stored by members of
+    [C_{l1.omega}], and so on. The paper's consistency proof is an induction
+    over this tree. C-set trees are "not implemented in any node"; we
+    materialize them after a run to *verify* the conditions the proof
+    requires. *)
+
+type tree = {
+  suffix : int array;  (** Associated suffix, index 0 = rightmost digit. *)
+  members : Ntcu_id.Id.Set.t;
+      (** For the template: [W_{suffix}], the joiners carrying the suffix.
+          For a realized tree: the C-set contents per Definition 5.1. *)
+  children : tree list;  (** Ordered by extending digit. *)
+}
+
+val noti_suffix : Ntcu_table.Suffix_index.t -> Ntcu_id.Id.t -> int array
+(** [noti_suffix v_index x] is the suffix [omega] such that the notification
+    set of [x] regarding [V] is [V_omega] (Definition 3.4): the longest prefix
+    [x\[k-1..0\]] carried by some member of [V] while [x\[k..0\]] is carried
+    by none. The empty array means the notification set is all of [V]. *)
+
+val template : Ntcu_id.Params.t -> root:int array -> w:Ntcu_id.Id.t list -> tree
+(** The tree template [C(V, W)] of Definition 3.9 for the joiners [w] whose
+    notification suffix is [root]. Only members of [w] actually carrying
+    [root] participate. *)
+
+val realized :
+  lookup:(Ntcu_id.Id.t -> Ntcu_table.Table.t option) ->
+  v_root:Ntcu_id.Id.t list ->
+  root:int array ->
+  w:Ntcu_id.Id.t list ->
+  tree
+(** The realized tree [cset(V, W)] of Definition 5.1, read off the final
+    neighbor tables: [v_root] must be the members of [V_{root}]. *)
+
+val same_structure : tree -> tree -> bool
+(** Equality of suffix structure, ignoring members. *)
+
+val no_empty_cset : tree -> bool
+(** No C-set below the root is empty (condition (1), second half). *)
+
+val union_members : tree -> Ntcu_id.Id.Set.t
+(** Union of all C-sets below (and including) the root. *)
+
+(** {1 The three consistency conditions of Section 3.3} *)
+
+val check_condition1 : template:tree -> realized:tree -> (unit, string) result
+(** [cset(V,W)] has the same structure as [C(V,W)] and no empty C-set. *)
+
+val check_condition2 :
+  lookup:(Ntcu_id.Id.t -> Ntcu_table.Table.t option) ->
+  v_root:Ntcu_id.Id.t list ->
+  realized:tree ->
+  (unit, string) result
+(** Every member of [V_root] stores, for each child C-set, some node with
+    that C-set's suffix. *)
+
+val check_condition3 :
+  lookup:(Ntcu_id.Id.t -> Ntcu_table.Table.t option) ->
+  realized:tree ->
+  w:Ntcu_id.Id.t list ->
+  (unit, string) result
+(** For every joiner [x], walking from the leaf C-set whose suffix is [x.ID]
+    up to the root, [x] stores a node with the suffix of every sibling
+    C-set. *)
+
+val pp_tree : tree Fmt.t
+(** ASCII rendering in the style of Figure 2. *)
+
+(** {1 Join classification (Definitions 3.2–3.6, Lemma 5.5)} *)
+
+type timing = Single | Sequential | Concurrent | Mixed
+
+val pp_timing : timing Fmt.t
+
+val classify_timing : (float * float) list -> timing
+(** Classify joining periods [(t_begin, t_end)]: [Sequential] when no two
+    periods overlap; [Concurrent] when every period overlaps another and the
+    union of periods has no gap; [Mixed] otherwise. *)
+
+val dependent :
+  Ntcu_table.Suffix_index.t -> w:Ntcu_id.Id.t list -> Ntcu_id.Id.t -> Ntcu_id.Id.t -> bool
+(** Definition 3.6 for a pair of joiners: their notification sets intersect,
+    or some joiner's notification set contains both. (Notification sets are
+    suffix sets, so intersection/containment reduce to the suffix-of
+    relation.) *)
+
+val dependency_groups :
+  Ntcu_table.Suffix_index.t -> w:Ntcu_id.Id.t list -> Ntcu_id.Id.t list list
+(** Partition the joiners as in the proof of Lemma 5.5: joins within a group
+    are (transitively) dependent, joins across groups are independent. *)

@@ -1,0 +1,94 @@
+module Id = Ntcu_id.Id
+module Table = Ntcu_table.Table
+module Network = Ntcu_core.Network
+module Node = Ntcu_core.Node
+
+(* Replacement for entries requiring a node that shares [>= level + 1] digits
+   with [x]: any non-self occupant of x's table at such a level. Scanning from
+   the deepest level makes the replacement share as many digits as possible. *)
+let replacement_for table ~owner ~level =
+  let p = Table.params table in
+  let found = ref None in
+  (try
+     for l = p.d - 1 downto level + 1 do
+       for digit = 0 to p.b - 1 do
+         match Table.neighbor table ~level:l ~digit with
+         | Some y when not (Id.equal y owner) ->
+           found := Some y;
+           raise Exit
+         | Some _ | None -> ()
+       done
+     done
+   with Exit -> ());
+  !found
+
+let leave net x =
+  match Network.node net x with
+  | None -> Error (Fmt.str "leave: unknown node %a" Id.pp x)
+  | Some node ->
+    if Node.status node <> Node.In_system then
+      Error (Fmt.str "leave: node %a is still joining" Id.pp x)
+    else if not (Network.is_quiescent net) then Error "leave: network is not quiescent"
+    else begin
+      let tx = Node.table node in
+      let p = Table.params tx in
+      (* Level-indexed replacements, computed once. *)
+      let replacements =
+        Array.init p.d (fun level -> replacement_for tx ~owner:x ~level)
+      in
+      let repaired = ref 0 in
+      let repair v =
+        if not (Id.equal v x) then begin
+          match Network.node net v with
+          | None -> ()
+          | Some vnode ->
+            let tv = Node.table vnode in
+            let touched = ref false in
+            for level = 0 to p.d - 1 do
+              for digit = 0 to p.b - 1 do
+                match Table.neighbor tv ~level ~digit with
+                | Some occupant when Id.equal occupant x -> begin
+                  touched := true;
+                  match replacements.(level) with
+                  | Some r ->
+                    Table.set tv ~level ~digit r S;
+                    (* The replacement gains v as a reverse neighbor, as a
+                       RvNghNotiMsg would record. *)
+                    (match Network.node net r with
+                    | Some rnode -> Table.add_reverse (Node.table rnode) ~level ~digit v
+                    | None -> ())
+                  | None -> Table.clear tv ~level ~digit
+                end
+                | Some _ | None -> ()
+              done
+            done;
+            Table.remove_reverse tv x;
+            Table.remove_backup tv x;
+            if !touched then incr repaired
+        end
+      in
+      (* Reverse neighbors are the nodes that store x; also sweep the nodes x
+         stores, to scrub x from their reverse sets. *)
+      Id.Set.iter repair (Table.all_reverse tx);
+      Id.Set.iter
+        (fun y ->
+          if not (Id.equal y x) then begin
+            match Network.node net y with
+            | Some ynode -> Table.remove_reverse (Node.table ynode) x
+            | None -> ()
+          end)
+        (Table.known_nodes tx);
+      Network.remove net x;
+      Ok !repaired
+    end
+
+let leave_many net ids =
+  let rec go total = function
+    | [] -> Ok total
+    | id :: rest -> begin
+      match leave net id with
+      | Ok n -> go (total + n) rest
+      | Error _ as e -> e
+    end
+  in
+  go 0 ids

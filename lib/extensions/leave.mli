@@ -1,0 +1,28 @@
+(** Consistency-preserving node departure.
+
+    The paper defers leave/failure-recovery protocols to future work but
+    observes that the C-set foundation supports designing them. This module
+    implements the natural voluntary-leave protocol the paper's structure
+    suggests:
+
+    a leaving node [x] serves a {e replacement} to every node that stores it.
+    If [v] stores [x] at its [(i, x\[i\])]-entry, any node sharing at least
+    [i + 1] digits with [x] is a valid substitute, and by consistency of [x]'s
+    own table such a node exists iff [x] has a non-self neighbor at some level
+    [>= i + 1]. So [x] can always either hand over a correct replacement or
+    certify that the entry must become empty — no search is needed. Reverse
+    neighbor sets (maintained by the join protocol's RvNghNotiMsg traffic)
+    identify exactly the nodes to repair.
+
+    Executed atomically between protocol rounds (the network must be
+    quiescent; concurrent leave/join interleavings are future work here too,
+    as in the paper). The returned count models the LeaveMsg notifications
+    [x] would send. *)
+
+val leave : Ntcu_core.Network.t -> Ntcu_id.Id.t -> (int, string) result
+(** [leave net x] repairs every table that references [x], removes [x] from
+    the network, and returns the number of repaired nodes. Errors if [x] is
+    unknown, still joining, or the network is not quiescent. *)
+
+val leave_many : Ntcu_core.Network.t -> Ntcu_id.Id.t list -> (int, string) result
+(** Sequential leaves; stops at the first error. *)

@@ -1,0 +1,195 @@
+module Id = Ntcu_id.Id
+module Table = Ntcu_table.Table
+module Network = Ntcu_core.Network
+module Node = Ntcu_core.Node
+module Engine = Ntcu_sim.Engine
+module Latency = Ntcu_sim.Latency
+
+type report = {
+  departed : int;
+  messages : int;
+  installed : int;
+  fallback_local : int;
+  fallback_flood : int;
+  emptied : int;
+}
+
+let pp_report ppf r =
+  Fmt.pf ppf
+    "%d departed with %d messages; repairs: %d installed, %d local fallback, %d flood \
+     fallback, %d emptied"
+    r.departed r.messages r.installed r.fallback_local r.fallback_flood r.emptied
+
+type leaving_state = { mutable awaiting : int }
+
+type t = {
+  net : Network.t;
+  latency : Latency.t;
+  leaving : leaving_state Id.Tbl.t;
+  mutable departed : int;
+  mutable messages : int;
+  mutable installed : int;
+  mutable fallback_local : int;
+  mutable fallback_flood : int;
+  mutable emptied : int;
+}
+
+let create ?latency net =
+  let latency =
+    match latency with
+    | Some l -> l
+    | None -> Latency.uniform ~seed:0 ~lo:1. ~hi:10.
+  in
+  {
+    net;
+    latency;
+    leaving = Id.Tbl.create 16;
+    departed = 0;
+    messages = 0;
+    installed = 0;
+    fallback_local = 0;
+    fallback_flood = 0;
+    emptied = 0;
+  }
+
+let report t =
+  {
+    departed = t.departed;
+    messages = t.messages;
+    installed = t.installed;
+    fallback_local = t.fallback_local;
+    fallback_flood = t.fallback_flood;
+    emptied = t.emptied;
+  }
+
+let engine t = Network.engine t.net
+
+let send t f =
+  t.messages <- t.messages + 1;
+  let delay = Latency.sample t.latency ~src:0 ~dst:0 in
+  Engine.schedule (engine t) ~delay:(if delay <= 0. then 1e-6 else delay) f
+
+let usable t id =
+  Network.mem t.net id
+  && (not (Network.is_failed t.net id))
+  && not (Id.Tbl.mem t.leaving id)
+
+(* Deepest-shared replacement for entries that require a node sharing
+   [>= level + 1] digits with the leaver, skipping unusable candidates. *)
+let replacement_vector t table ~owner =
+  let p = Table.params table in
+  Array.init p.d (fun level ->
+      let found = ref None in
+      (try
+         for l = p.d - 1 downto level + 1 do
+           for digit = 0 to p.b - 1 do
+             match Table.neighbor table ~level:l ~digit with
+             | Some y when (not (Id.equal y owner)) && usable t y ->
+               found := Some y;
+               raise Exit
+             | Some _ | None -> ()
+           done
+         done
+       with Exit -> ());
+      !found)
+
+let depart t x =
+  (match Network.node t.net x with
+  | Some _ -> Network.remove t.net x
+  | None -> ());
+  Id.Tbl.remove t.leaving x;
+  t.departed <- t.departed + 1
+
+(* v repairs its entries that hold the leaver x, preferring x's replacement
+   vector, falling back to its own search. *)
+let repair_at t ~v ~leaver ~replacements =
+  match Network.node t.net v with
+  | None -> ()
+  | Some vnode ->
+    let tv = Node.table vnode in
+    let p = Table.params tv in
+    for level = 0 to p.d - 1 do
+      for digit = 0 to p.b - 1 do
+        match Table.neighbor tv ~level ~digit with
+        | Some occupant when Id.equal occupant leaver ->
+          let install r =
+            Table.set tv ~level ~digit r S;
+            match Network.node t.net r with
+            | Some rnode -> Table.add_reverse (Node.table rnode) ~level ~digit v
+            | None -> ()
+          in
+          let from_vector =
+            match replacements.(level) with
+            | Some r when usable t r -> Some r
+            | Some _ | None -> None
+          in
+          (match from_vector with
+          | Some r ->
+            t.installed <- t.installed + 1;
+            install r
+          | None -> begin
+            Table.clear tv ~level ~digit;
+            let suffix = Table.required_suffix tv ~level ~digit in
+            (* Leaving nodes (including the leaver, still registered until
+               its acknowledgements arrive) are not valid candidates. *)
+            let exclude cand = Id.Tbl.mem t.leaving cand in
+            match Repair.find_live ~exclude t.net ~owner:tv ~suffix with
+            | Repair.Found_local { candidate; _ } ->
+              t.fallback_local <- t.fallback_local + 1;
+              install candidate
+            | Repair.Found_flood { candidate; _ } ->
+              t.fallback_flood <- t.fallback_flood + 1;
+              install candidate
+            | Repair.Not_found _ -> t.emptied <- t.emptied + 1
+          end)
+        | Some _ | None -> ()
+      done
+    done;
+    Table.remove_reverse tv leaver;
+    Table.remove_backup tv leaver
+
+let rec fire_leave t x =
+  match Network.node t.net x with
+  | None -> ()
+  | Some node ->
+    if Network.is_failed t.net x || Node.status node <> Node.In_system then ()
+    else if Id.Tbl.mem t.leaving x then ()
+    else begin
+      let table = Node.table node in
+      let state = { awaiting = 0 } in
+      Id.Tbl.replace t.leaving x state;
+      let replacements = replacement_vector t table ~owner:x in
+      let targets =
+        Id.Set.filter
+          (fun v ->
+            (not (Id.equal v x))
+            && Network.mem t.net v
+            && not (Network.is_failed t.net v))
+          (Table.all_reverse table)
+      in
+      state.awaiting <- Id.Set.cardinal targets;
+      if state.awaiting = 0 then depart t x
+      else
+        Id.Set.iter
+          (fun v ->
+            send t (fun () ->
+                (* LeaveMsg delivery at v. Even if v is itself leaving it
+                   must repair and acknowledge: its table may be copied by
+                   others until it departs. *)
+                repair_at t ~v ~leaver:x ~replacements;
+                send t (fun () -> ack_leave t x)))
+          targets
+    end
+
+and ack_leave t x =
+  match Id.Tbl.find_opt t.leaving x with
+  | None -> ()
+  | Some state ->
+    state.awaiting <- state.awaiting - 1;
+    if state.awaiting <= 0 then depart t x
+
+let request_leave t ?at x =
+  let time = match at with Some time -> time | None -> Engine.now (engine t) in
+  Engine.schedule_at (engine t) ~time (fun () -> fire_leave t x)
+
+let run t = Network.run t.net

@@ -1,0 +1,35 @@
+(** Neighbor-table proximity optimization.
+
+    The paper deliberately relaxes PRR's optimal (nearest-neighbor) tables and
+    defers optimization protocols to future work, pointing at Hildrum et al.
+    and Castro et al. for techniques. This extension implements the standard
+    local sampling pass those papers use: each node re-examines every filled
+    entry, collects candidate substitutes with the entry's required suffix
+    from its current neighbors' tables (local information only), and swaps in
+    the closest candidate under the given distance function.
+
+    Repeated passes converge towards nearer tables and reduce route stretch
+    (property P2); they never break consistency, because a substitution keeps
+    the required suffix by construction. *)
+
+val pass :
+  Ntcu_core.Network.t -> dist:(Ntcu_id.Id.t -> Ntcu_id.Id.t -> float) -> int
+(** One optimization pass over every node; returns the number of entries
+    improved. The network must be quiescent. *)
+
+val optimize :
+  ?max_passes:int ->
+  Ntcu_core.Network.t ->
+  dist:(Ntcu_id.Id.t -> Ntcu_id.Id.t -> float) ->
+  int
+(** Run passes until a fixpoint (or [max_passes], default 10); returns the
+    total improvements. *)
+
+val average_route_stretch :
+  Ntcu_core.Network.t ->
+  dist:(Ntcu_id.Id.t -> Ntcu_id.Id.t -> float) ->
+  seed:int ->
+  samples:int ->
+  float
+(** Mean stretch (routed distance / direct distance) over random node pairs;
+    pairs at distance 0 are skipped. *)

@@ -1,0 +1,32 @@
+(** Replacement-candidate search for table repair.
+
+    When an entry's occupant is gone (failed, or departed in a race), the
+    entry's owner must find another live node carrying the entry's required
+    suffix. The search escalates:
+
+    + {b one-hop}: scan the tables of the owner's live neighbors and reverse
+      neighbors (pure local information);
+    + {b two-hop}: extend the scan to those nodes' neighbors;
+    + {b suffix flood}: query the whole live membership — the expensive
+      last resort a deployment would implement as a scoped multicast within
+      the suffix set, modeled here by a global scan and counted separately.
+
+    Every consulted table is counted so experiments can report the cost of
+    each escalation tier. *)
+
+type outcome =
+  | Found_local of { candidate : Ntcu_id.Id.t; tables_consulted : int; hops : int }
+  | Found_flood of { candidate : Ntcu_id.Id.t; tables_consulted : int }
+  | Not_found of { tables_consulted : int }
+      (** No live node carries the suffix: the entry must stay empty. *)
+
+val find_live :
+  ?exclude:(Ntcu_id.Id.t -> bool) ->
+  Ntcu_core.Network.t ->
+  owner:Ntcu_table.Table.t ->
+  suffix:int array ->
+  outcome
+(** Search for a live node (other than the owner, and not [exclude]d — e.g.
+    nodes known to be leaving) whose ID ends with [suffix]. *)
+
+val pp_outcome : outcome Fmt.t

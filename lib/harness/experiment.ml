@@ -1,0 +1,175 @@
+module Id = Ntcu_id.Id
+module Params = Ntcu_id.Params
+module Network = Ntcu_core.Network
+module Node = Ntcu_core.Node
+module Stats = Ntcu_core.Stats
+module Rng = Ntcu_std.Rng
+
+type join_run = {
+  net : Network.t;
+  seeds : Id.t list;
+  joiners : Id.t list;
+  join_noti : int array;
+  cp_wait : int array;
+  violations : Ntcu_table.Check.violation list;
+  all_in_system : bool;
+  quiescent : bool;
+  events : int;
+  elapsed_cpu : float;
+}
+
+let consistent run = run.violations = []
+
+let finish ~t0 net seeds joiners =
+  let stats_of id = Node.stats (Network.node_exn net id) in
+  {
+    net;
+    seeds;
+    joiners;
+    join_noti = Array.of_list (List.map (fun id -> Stats.join_noti_sent (stats_of id)) joiners);
+    cp_wait =
+      Array.of_list (List.map (fun id -> Stats.copy_and_wait_sent (stats_of id)) joiners);
+    violations = Network.check_consistent net;
+    all_in_system = Network.all_in_system net;
+    quiescent = Network.is_quiescent net;
+    events = Network.messages_delivered net;
+    elapsed_cpu = Sys.time () -. t0;
+  }
+
+let default_latency seed = Ntcu_sim.Latency.uniform ~seed ~lo:1. ~hi:100.
+
+let make_population p ~seed ~n ~m ~suffix =
+  let rng = Rng.create seed in
+  let seeds = Workload.distinct_ids rng p ~n in
+  let joiners =
+    Workload.distinct_ids ~suffix ~avoid:(Id.Set.of_list seeds) rng p ~n:m
+  in
+  (rng, seeds, joiners)
+
+let concurrent_joins ?latency ?size_mode ?(suffix = [||]) ?(stagger = 0.) p ~seed ~n ~m () =
+  let t0 = Sys.time () in
+  let rng, seeds, joiners = make_population p ~seed ~n ~m ~suffix in
+  let latency = match latency with Some l -> l | None -> default_latency (seed + 1) in
+  let net = Network.create ~latency ?size_mode p in
+  Network.seed_consistent net ~seed:(seed + 2) seeds;
+  let gateways = Array.of_list seeds in
+  List.iteri
+    (fun i id ->
+      Network.start_join net ~at:(float_of_int i *. stagger) ~id
+        ~gateway:(Rng.pick rng gateways) ())
+    joiners;
+  Network.run net;
+  finish ~t0 net seeds joiners
+
+let sequential_joins ?latency ?size_mode p ~seed ~n ~m () =
+  let t0 = Sys.time () in
+  let rng, seeds, joiners = make_population p ~seed ~n ~m ~suffix:[||] in
+  let latency = match latency with Some l -> l | None -> default_latency (seed + 1) in
+  let net = Network.create ~latency ?size_mode p in
+  Network.seed_consistent net ~seed:(seed + 2) seeds;
+  let gateways = Array.of_list seeds in
+  List.iter
+    (fun id ->
+      Network.start_join net ~id ~gateway:(Rng.pick rng gateways) ();
+      Network.run net)
+    joiners;
+  finish ~t0 net seeds joiners
+
+let network_init ?latency p ~seed ~n =
+  if n < 1 then invalid_arg "Experiment.network_init: n must be >= 1";
+  let t0 = Sys.time () in
+  let rng = Rng.create seed in
+  let ids = Workload.distinct_ids rng p ~n in
+  let latency = match latency with Some l -> l | None -> default_latency (seed + 1) in
+  let net = Network.create ~latency p in
+  let first, joiners = match ids with f :: r -> (f, r) | [] -> assert false in
+  Network.add_seed_node net first;
+  (* Each joiner is given a random already-present node, as the paper's
+     network-initialization section prescribes ("each is given x to begin
+     with" in the simplest form; any known member works). *)
+  let present = ref [| first |] in
+  List.iter
+    (fun id ->
+      Network.start_join net ~id ~gateway:(Rng.pick rng !present) ();
+      Network.run net;
+      present := Array.append !present [| id |])
+    joiners;
+  finish ~t0 net [ first ] joiners
+
+type fig15b_setup = { d : int; n : int; m : int }
+
+let paper_setups =
+  [
+    { d = 8; n = 3096; m = 1000 };
+    { d = 40; n = 3096; m = 1000 };
+    { d = 8; n = 7192; m = 1000 };
+    { d = 40; n = 7192; m = 1000 };
+  ]
+
+let fig15b ?(routers = Ntcu_topology.Transit_stub.scaled_config) ?size_mode ~seed setup =
+  let t0 = Sys.time () in
+  let p = Params.make ~b:16 ~d:setup.d in
+  let rng, seeds, joiners = make_population p ~seed ~n:setup.n ~m:setup.m ~suffix:[||] in
+  let topo = Ntcu_topology.Transit_stub.generate ~seed:(seed + 10) routers in
+  let hosts =
+    Ntcu_topology.Endhosts.attach ~seed:(seed + 11) topo ~n:(setup.n + setup.m)
+  in
+  let latency = Ntcu_topology.Endhosts.latency ~seed:(seed + 12) hosts in
+  let net = Network.create ~latency ?size_mode p in
+  (* Hosts are indexed in registration order: seeds first, then joiners. *)
+  Network.seed_consistent net ~seed:(seed + 2) seeds;
+  let gateways = Array.of_list seeds in
+  List.iter
+    (fun id -> Network.start_join net ~at:0. ~id ~gateway:(Rng.pick rng gateways) ())
+    joiners;
+  Network.run net;
+  finish ~t0 net seeds joiners
+
+let cdf_points counts =
+  let sorted = Array.copy counts in
+  Array.sort compare sorted;
+  let total = float_of_int (Array.length sorted) in
+  let points = ref [] in
+  Array.iteri
+    (fun i v ->
+      if i = Array.length sorted - 1 || sorted.(i + 1) <> v then
+        points := (v, float_of_int (i + 1) /. total) :: !points)
+    sorted;
+  List.rev !points
+
+let fig15a_series ~b ~d ~m ~ns =
+  let p = Params.make ~b ~d in
+  List.map (fun n -> (n, Ntcu_analysis.Join_cost.theorem5_bound p ~n ~m)) ns
+
+type baseline_result = {
+  base_consistent : bool;
+  base_violations : int;
+  base_done : bool;
+  peak_pending : int;
+  pending_slots : int;
+  base_messages : int;
+}
+
+let baseline_run ?latency p ~seed ~n ~m ~concurrent =
+  let module B = Ntcu_baseline.Multicast_join in
+  let rng, seeds, joiners = make_population p ~seed ~n ~m ~suffix:[||] in
+  let latency = match latency with Some l -> l | None -> default_latency (seed + 1) in
+  let t = B.create ~latency p in
+  B.seed_consistent t ~seed:(seed + 2) seeds;
+  let gateways = Array.of_list seeds in
+  List.iteri
+    (fun i id ->
+      let at = if concurrent then 0. else float_of_int i *. 1e6 in
+      B.start_join t ~at ~id ~gateway:(Rng.pick rng gateways) ())
+    joiners;
+  B.run t;
+  let violations = B.check_consistent t in
+  let counts = B.message_counts t in
+  {
+    base_consistent = violations = [];
+    base_violations = List.length violations;
+    base_done = B.all_done t;
+    peak_pending = B.peak_pending_at_existing t;
+    pending_slots = B.total_pending_slots t;
+    base_messages = counts.copies + counts.announces + counts.acks + counts.infos;
+  }

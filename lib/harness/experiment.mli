@@ -1,0 +1,106 @@
+(** Experiment drivers for the paper's evaluation (Section 5.2, Figure 15)
+    and for the comparison and ablation benches. *)
+
+type join_run = {
+  net : Ntcu_core.Network.t;
+  seeds : Ntcu_id.Id.t list;  (** The initial consistent network [V]. *)
+  joiners : Ntcu_id.Id.t list;  (** The joining set [W]. *)
+  join_noti : int array;  (** Per joiner: # [JoinNotiMsg] sent ([J]). *)
+  cp_wait : int array;  (** Per joiner: # [CpRstMsg + JoinWaitMsg] sent. *)
+  violations : Ntcu_table.Check.violation list;
+  all_in_system : bool;
+  quiescent : bool;
+  events : int;  (** Messages delivered. *)
+  elapsed_cpu : float;  (** Host CPU seconds for the run. *)
+}
+
+val consistent : join_run -> bool
+
+val concurrent_joins :
+  ?latency:Ntcu_sim.Latency.t ->
+  ?size_mode:Ntcu_core.Message.size_mode ->
+  ?suffix:int array ->
+  ?stagger:float ->
+  Ntcu_id.Params.t ->
+  seed:int ->
+  n:int ->
+  m:int ->
+  unit ->
+  join_run
+(** Build a consistent network of [n] random nodes, then start [m] joins.
+    All joins start at time 0 (the paper's setup) unless [stagger > 0.], in
+    which case join [i] starts at [i *. stagger]. [suffix] constrains joiner
+    IDs to share a suffix — a maximally dependent C-set workload. Gateways
+    are random members of [V]. Deterministic in [seed]. *)
+
+val sequential_joins :
+  ?latency:Ntcu_sim.Latency.t ->
+  ?size_mode:Ntcu_core.Message.size_mode ->
+  Ntcu_id.Params.t ->
+  seed:int ->
+  n:int ->
+  m:int ->
+  unit ->
+  join_run
+(** Same, but each join runs to quiescence before the next begins. *)
+
+val network_init :
+  ?latency:Ntcu_sim.Latency.t ->
+  Ntcu_id.Params.t ->
+  seed:int ->
+  n:int ->
+  join_run
+(** Section 6.1: start from one node and build an [n]-node network purely by
+    (sequential) joins. The "seeds" list contains the single initial node. *)
+
+(** {1 Figure 15(b): simulated join cost over a transit-stub topology} *)
+
+type fig15b_setup = {
+  d : int;
+  n : int;  (** Initial consistent network size. *)
+  m : int;  (** Concurrent joiners. *)
+}
+
+val paper_setups : fig15b_setup list
+(** The four curves of Figure 15(b): (3096, 1000) and (7192, 1000), each with
+    d = 8 and d = 40 (b = 16). *)
+
+val fig15b :
+  ?routers:Ntcu_topology.Transit_stub.config ->
+  ?size_mode:Ntcu_core.Message.size_mode ->
+  seed:int ->
+  fig15b_setup ->
+  join_run
+(** Run one Figure 15(b) setup: generate a transit-stub router topology
+    (default {!Ntcu_topology.Transit_stub.scaled_config}), attach [n + m]
+    end-hosts, use shortest-path latencies, start all joins at time 0. *)
+
+val cdf_points : int array -> (int * float) list
+(** [(value, cumulative fraction <= value)] for each distinct value. *)
+
+(** {1 Figure 15(a): the Theorem 5 bound} *)
+
+val fig15a_series :
+  b:int -> d:int -> m:int -> ns:int list -> (int * float) list
+(** [(n, bound)] points for one curve. *)
+
+(** {1 Baseline comparison} *)
+
+type baseline_result = {
+  base_consistent : bool;
+  base_violations : int;
+  base_done : bool;
+  peak_pending : int;
+  pending_slots : int;
+  base_messages : int;
+}
+
+val baseline_run :
+  ?latency:Ntcu_sim.Latency.t ->
+  Ntcu_id.Params.t ->
+  seed:int ->
+  n:int ->
+  m:int ->
+  concurrent:bool ->
+  baseline_result
+(** Run the multicast-join baseline on the same workload shape. *)

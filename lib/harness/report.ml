@@ -1,0 +1,50 @@
+let table ~header ppf rows =
+  let all = header :: rows in
+  let columns = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let widths = Array.make columns 0 in
+  List.iter
+    (List.iteri (fun i cell -> if String.length cell > widths.(i) then widths.(i) <- String.length cell))
+    all;
+  let print_row row =
+    List.iteri (fun i cell -> Fmt.pf ppf "%-*s  " widths.(i) cell) row;
+    Fmt.pf ppf "@."
+  in
+  print_row header;
+  print_row (List.mapi (fun i _ -> String.make widths.(i) '-') header);
+  List.iter print_row rows
+
+let pp_join_run ppf (run : Experiment.join_run) =
+  let j = Ntcu_std.Stats.of_ints run.join_noti in
+  let cw = Ntcu_std.Stats.of_ints run.cp_wait in
+  let d = (Ntcu_core.Network.params run.net).d in
+  Fmt.pf ppf
+    "|V| = %d, |W| = %d: %s, %s, %d messages, %.2fs cpu@.\
+     JoinNotiMsg per joiner: mean %.3f, median %.1f, p99 %.1f, max %.0f@.\
+     CpRst+JoinWait per joiner: mean %.3f, max %.0f (Theorem 3 bound d+1 = %d)@."
+    (List.length run.seeds) (List.length run.joiners)
+    (if run.all_in_system && run.quiescent then "all in_system" else "LIVENESS FAILURE")
+    (if Experiment.consistent run then "consistent"
+     else Printf.sprintf "%d VIOLATIONS" (List.length run.violations))
+    run.events run.elapsed_cpu (Ntcu_std.Stats.mean j) (Ntcu_std.Stats.median j)
+    (Ntcu_std.Stats.percentile j 99.)
+    (snd (Ntcu_std.Stats.min_max j))
+    (Ntcu_std.Stats.mean cw)
+    (snd (Ntcu_std.Stats.min_max cw))
+    (d + 1)
+
+let pp_fig15a_curve ~label ppf points =
+  Fmt.pf ppf "# %s@." label;
+  List.iter (fun (n, bound) -> Fmt.pf ppf "%8d  %.3f@." n bound) points
+
+let pp_cdf ~label ppf points =
+  Fmt.pf ppf "# %s@." label;
+  List.iter (fun (v, frac) -> Fmt.pf ppf "%6d  %.4f@." v frac) points
+
+let pp_avg_vs_bound ppf rows =
+  table
+    ~header:[ "setup"; "measured avg J"; "Theorem-5 bound"; "paper avg J" ]
+    ppf
+    (List.map
+       (fun (label, avg, bound, paper) ->
+         [ label; Printf.sprintf "%.3f" avg; Printf.sprintf "%.3f" bound; Printf.sprintf "%.3f" paper ])
+       rows)

@@ -1,0 +1,19 @@
+(** Paper-style rendering of experiment results. *)
+
+val pp_join_run : Experiment.join_run Fmt.t
+(** One-paragraph summary: size, liveness, consistency, message stats. *)
+
+val pp_fig15a_curve :
+  label:string -> (int * float) list Fmt.t
+(** A Figure 15(a) data series, one "[n] [bound]" row per point. *)
+
+val pp_cdf : label:string -> (int * float) list Fmt.t
+(** A Figure 15(b) CDF series, one "[J] [fraction]" row per point. *)
+
+val pp_avg_vs_bound :
+  (string * float * float * float) list Fmt.t
+(** Rows of (setup label, measured average, Theorem-5 bound, paper's measured
+    average) — the Section 5.2 in-text comparison. *)
+
+val table : header:string list -> string list list Fmt.t
+(** Aligned plain-text table. *)

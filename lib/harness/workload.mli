@@ -1,0 +1,15 @@
+(** Workload generation: node populations for experiments. *)
+
+val distinct_ids :
+  ?suffix:int array ->
+  ?avoid:Ntcu_id.Id.Set.t ->
+  Ntcu_std.Rng.t ->
+  Ntcu_id.Params.t ->
+  n:int ->
+  Ntcu_id.Id.t list
+(** [n] distinct random identifiers, optionally all ending with [suffix]
+    (adversarial dependent-join workloads) and avoiding a given set.
+    @raise Invalid_argument if the constrained ID space is too small. *)
+
+val split : int -> 'a list -> 'a list * 'a list
+(** [split k l] is [(first k elements, rest)]. *)

@@ -1,0 +1,111 @@
+(* An identifier is stored as its digit array, index 0 = rightmost digit.
+   The array is never mutated after construction. *)
+
+type t = int array
+
+let digit_of_char c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'z' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'Z' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg (Printf.sprintf "Id.of_string: bad digit character %C" c)
+
+let char_of_digit v =
+  if v < 10 then Char.chr (Char.code '0' + v) else Char.chr (Char.code 'a' + v - 10)
+
+let validate (p : Params.t) digits =
+  if Array.length digits <> p.d then
+    invalid_arg
+      (Printf.sprintf "Id.make: expected %d digits, got %d" p.d (Array.length digits));
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= p.b then
+        invalid_arg (Printf.sprintf "Id.make: digit %d out of range for base %d" v p.b))
+    digits
+
+let make p digits =
+  validate p digits;
+  Array.copy digits
+
+let of_string (p : Params.t) s =
+  if String.length s <> p.d then
+    invalid_arg
+      (Printf.sprintf "Id.of_string: expected %d characters, got %d" p.d (String.length s));
+  (* Character 0 of the string is the most significant digit, i.e. index d-1. *)
+  let digits = Array.init p.d (fun i -> digit_of_char s.[p.d - 1 - i]) in
+  validate p digits;
+  digits
+
+let to_string x =
+  let d = Array.length x in
+  String.init d (fun i -> char_of_digit x.(d - 1 - i))
+
+let length = Array.length
+
+let digit x i = x.(i)
+
+let csuf_len x y =
+  let d = Array.length x in
+  let rec go i = if i < d && x.(i) = y.(i) then go (i + 1) else i in
+  go 0
+
+let suffix x k = Array.sub x 0 k
+
+let has_suffix x suf =
+  let k = Array.length suf in
+  k <= Array.length x
+  &&
+  let rec go i = i >= k || (x.(i) = suf.(i) && go (i + 1)) in
+  go 0
+
+let random rng (p : Params.t) = Array.init p.d (fun _ -> Ntcu_std.Rng.int rng p.b)
+
+let random_with_suffix rng (p : Params.t) suf =
+  let k = Array.length suf in
+  if k > p.d then invalid_arg "Id.random_with_suffix: suffix longer than d";
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= p.b then invalid_arg "Id.random_with_suffix: digit out of range")
+    suf;
+  Array.init p.d (fun i -> if i < k then suf.(i) else Ntcu_std.Rng.int rng p.b)
+
+let equal (x : t) (y : t) = x = y
+
+let compare (x : t) (y : t) =
+  (* Most-significant-digit-first order, matching the textual order. *)
+  let d = Array.length x in
+  let rec go i =
+    if i < 0 then 0
+    else begin
+      let c = Int.compare x.(i) y.(i) in
+      if c <> 0 then c else go (i - 1)
+    end
+  in
+  go (d - 1)
+
+let hash (x : t) = Hashtbl.hash x
+
+let pp ppf x = Fmt.string ppf (to_string x)
+
+let pp_suffix ppf suf =
+  let k = Array.length suf in
+  for i = k - 1 downto 0 do
+    Fmt.char ppf (char_of_digit suf.(i))
+  done
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Hashed = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+module Tbl = Hashtbl.Make (Hashed)

@@ -1,0 +1,156 @@
+module Id = Ntcu_id.Id
+module Table = Ntcu_table.Table
+
+type t = {
+  lookup : Id.t -> Table.t option;
+  (* node -> (object -> storers) *)
+  pointers : (Id.t, Id.t list ref) Hashtbl.t Id.Tbl.t;
+}
+
+let create ~lookup = { lookup; pointers = Id.Tbl.create 256 }
+
+(* One surrogate-routing step from [table]'s owner towards [obj], resolving
+   level [level]: try digit obj[level], then scan upwards (mod b) for the
+   first filled entry. The self-entry guarantees the scan terminates. *)
+let surrogate_hop table ~obj ~level =
+  let p = Table.params table in
+  let rec scan tried j =
+    if tried >= p.b then None
+    else begin
+      match Table.neighbor table ~level ~digit:j with
+      | Some n -> Some n
+      | None -> scan (tried + 1) ((j + 1) mod p.b)
+    end
+  in
+  scan 0 (Id.digit obj level)
+
+let root_path t ~from obj =
+  let rec go current level acc =
+    match t.lookup current with
+    | None -> Error (Route.Unknown_node current)
+    | Some table ->
+      let p = Table.params table in
+      if level >= p.d then Ok (List.rev (current :: acc))
+      else begin
+        match surrogate_hop table ~obj ~level with
+        | None -> Error (Route.Dead_end { at = current; level })
+        | Some next ->
+          if Id.equal next current then go current (level + 1) acc
+          else go next (level + 1) (current :: acc)
+      end
+  in
+  go from 0 []
+
+let root_of t ~from obj =
+  match root_path t ~from obj with
+  | Ok path -> begin
+    match List.rev path with
+    | root :: _ -> Ok root
+    | [] -> assert false
+  end
+  | Error e -> Error e
+
+let node_pointers t node =
+  match Id.Tbl.find_opt t.pointers node with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Hashtbl.create 8 in
+    Id.Tbl.add t.pointers node tbl;
+    tbl
+
+let publish t ~storer obj =
+  match root_path t ~from:storer obj with
+  | Error e -> Error e
+  | Ok path ->
+    List.iter
+      (fun node ->
+        let tbl = node_pointers t node in
+        match Hashtbl.find_opt tbl obj with
+        | Some storers -> if not (List.exists (Id.equal storer) !storers) then storers := storer :: !storers
+        | None -> Hashtbl.add tbl obj (ref [ storer ]))
+      path;
+    Ok (List.length path - 1)
+
+let unpublish t ~storer obj =
+  Id.Tbl.iter
+    (fun _node tbl ->
+      match Hashtbl.find_opt tbl obj with
+      | Some storers ->
+        storers := List.filter (fun s -> not (Id.equal s storer)) !storers;
+        if !storers = [] then Hashtbl.remove tbl obj
+      | None -> ())
+    t.pointers
+
+type lookup_result = {
+  storers : Id.t list;
+  pointer_node : Id.t;
+  hops : Id.t list;
+}
+
+let lookup_object t ~client obj =
+  match root_path t ~from:client obj with
+  | Error e -> Error e
+  | Ok path ->
+    let rec walk acc = function
+      | node :: rest -> begin
+        let acc = node :: acc in
+        let found =
+          match Id.Tbl.find_opt t.pointers node with
+          | Some tbl -> Hashtbl.find_opt tbl obj
+          | None -> None
+        in
+        match found with
+        | Some storers ->
+          Some { storers = !storers; pointer_node = node; hops = List.rev acc }
+        | None -> walk acc rest
+      end
+      | [] -> None
+    in
+    (match walk [] path with
+    | Some result -> Ok result
+    | None ->
+      (* Reached the root without a pointer: the object is unpublished. *)
+      let root = List.nth path (List.length path - 1) in
+      Ok { storers = []; pointer_node = root; hops = path })
+
+let pointers_at t node =
+  match Id.Tbl.find_opt t.pointers node with
+  | Some tbl -> Hashtbl.fold (fun obj storers acc -> (obj, !storers) :: acc) tbl []
+  | None -> []
+
+let collect_objects t =
+  let objects = Hashtbl.create 64 in
+  Id.Tbl.iter
+    (fun _node tbl ->
+      Hashtbl.iter
+        (fun obj storers ->
+          let known = try Hashtbl.find objects obj with Not_found -> Id.Set.empty in
+          Hashtbl.replace objects obj
+            (List.fold_left (fun acc s -> Id.Set.add s acc) known !storers))
+        tbl)
+    t.pointers;
+  objects
+
+let published_objects t =
+  Hashtbl.fold (fun obj _ acc -> obj :: acc) (collect_objects t) []
+
+let maintain t =
+  let objects = collect_objects t in
+  Id.Tbl.reset t.pointers;
+  let republished = ref 0 in
+  let first_error = ref None in
+  Hashtbl.iter
+    (fun obj storers ->
+      let touched = ref false in
+      Id.Set.iter
+        (fun storer ->
+          (* Departed storers have no table any more; their replicas are gone. *)
+          if t.lookup storer <> None then begin
+            match publish t ~storer obj with
+            | Ok _ -> touched := true
+            | Error e -> if !first_error = None then first_error := Some e
+          end)
+        storers;
+      if !touched then incr republished)
+    objects;
+  match !first_error with Some e -> Error e | None -> Ok !republished

@@ -1,0 +1,62 @@
+(** PRR-style replicated-object directory.
+
+    Objects live in the same ID space as nodes. Each object has a unique
+    {e root} node, found by surrogate routing: resolve the object's digits
+    right-to-left; when the required entry is empty at some level, determinis-
+    tically fall back to the next filled digit at that level. In a consistent
+    network the digit choices depend only on which suffixes exist, so every
+    start node reaches the same root (property P1).
+
+    A node that stores a copy {e publishes} it by walking to the root and
+    leaving a location pointer at every hop. A query walks towards the root
+    and is redirected by the first pointer it meets — queries for nearby
+    copies tend to hit a pointer early, which is how PRR bounds access cost
+    (property P2). This layer reproduces the paper's background Section 2 and
+    PRR's directory semantics; it is kept outside the join protocol. *)
+
+type t
+
+val create : lookup:(Ntcu_id.Id.t -> Ntcu_table.Table.t option) -> t
+(** [lookup] resolves node IDs to their (consistent) neighbor tables. *)
+
+val root_path : t -> from:Ntcu_id.Id.t -> Ntcu_id.Id.t -> (Ntcu_id.Id.t list, Route.error) result
+(** Surrogate-routing path from a node to the object's root, both inclusive. *)
+
+val root_of : t -> from:Ntcu_id.Id.t -> Ntcu_id.Id.t -> (Ntcu_id.Id.t, Route.error) result
+
+val publish : t -> storer:Ntcu_id.Id.t -> Ntcu_id.Id.t -> (int, Route.error) result
+(** [publish t ~storer obj] records that [storer] holds a copy of [obj] and
+    installs location pointers along the path to the root. Returns the number
+    of pointer-installation hops. *)
+
+val unpublish : t -> storer:Ntcu_id.Id.t -> Ntcu_id.Id.t -> unit
+(** Remove the storer's pointers for the object (object deletion, PRR
+    Section on directory maintenance). *)
+
+type lookup_result = {
+  storers : Ntcu_id.Id.t list;  (** Known copies, at the first pointer hit. *)
+  pointer_node : Ntcu_id.Id.t;  (** Node whose pointer answered the query. *)
+  hops : Ntcu_id.Id.t list;  (** Query path from the client to [pointer_node]. *)
+}
+
+val lookup_object : t -> client:Ntcu_id.Id.t -> Ntcu_id.Id.t -> (lookup_result, Route.error) result
+(** Walk towards the root until a pointer for the object is found.
+    Returns an error carrying [Dead_end] semantics only on inconsistent
+    tables; on a consistent network a published object is always found (P1),
+    and an unpublished one cleanly reports no storers at the root. *)
+
+val pointers_at : t -> Ntcu_id.Id.t -> (Ntcu_id.Id.t * Ntcu_id.Id.t list) list
+(** [(object, storers)] pointers held at a node (directory load; P3). *)
+
+val published_objects : t -> Ntcu_id.Id.t list
+(** Objects with at least one pointer anywhere. *)
+
+val maintain : t -> (int, Route.error) result
+(** Directory maintenance after membership changes (PRR maintains its
+    directory dynamically as nodes and objects come and go): object roots may
+    have moved, old pointer trails may no longer lie on current query paths,
+    and storers or pointer hosts may have departed. [maintain] rebuilds the
+    directory: every pointer is dropped and every object is republished from
+    its surviving storers over the current tables. Returns the number of
+    objects republished. Queries issued after [maintain] find every surviving
+    replica again (P1 restored). *)

@@ -1,0 +1,73 @@
+module Id = Ntcu_id.Id
+module Table = Ntcu_table.Table
+
+type error =
+  | Unknown_node of Id.t
+  | Dead_end of { at : Id.t; level : int }
+
+let pp_error ppf = function
+  | Unknown_node id -> Fmt.pf ppf "no table for node %a" Id.pp id
+  | Dead_end { at; level } -> Fmt.pf ppf "dead end at %a, level %d" Id.pp at level
+
+let next_hop table ~dest =
+  let owner = Table.owner table in
+  if Id.equal owner dest then Some owner
+  else begin
+    let k = Id.csuf_len owner dest in
+    Table.neighbor table ~level:k ~digit:(Id.digit dest k)
+  end
+
+let route ~lookup ~src ~dst =
+  let d = Id.length dst in
+  let rec go current acc hops =
+    if Id.equal current dst then Ok (List.rev (dst :: acc))
+    else if hops > d then
+      (* Cannot happen in a consistent network: each hop resolves a digit. *)
+      Error (Dead_end { at = current; level = Id.csuf_len current dst })
+    else begin
+      match lookup current with
+      | None -> Error (Unknown_node current)
+      | Some table -> begin
+        match next_hop table ~dest:dst with
+        | None -> Error (Dead_end { at = current; level = Id.csuf_len current dst })
+        | Some next ->
+          if Id.equal next current then
+            Error (Dead_end { at = current; level = Id.csuf_len current dst })
+          else go next (current :: acc) (hops + 1)
+      end
+    end
+  in
+  go src [] 0
+
+let route_resilient ~lookup ~alive ~src ~dst =
+  let d = Id.length dst in
+  let rec go current acc hops =
+    if Id.equal current dst then Ok (List.rev (dst :: acc))
+    else if hops > d then Error (Dead_end { at = current; level = Id.csuf_len current dst })
+    else begin
+      match lookup current with
+      | None -> Error (Unknown_node current)
+      | Some table ->
+        let k = Id.csuf_len current dst in
+        let digit = Id.digit dst k in
+        let candidates =
+          (match Table.neighbor table ~level:k ~digit with
+          | Some primary -> [ primary ]
+          | None -> [])
+          @ Table.backups table ~level:k ~digit
+        in
+        (match List.find_opt alive candidates with
+        | Some next -> go next (current :: acc) (hops + 1)
+        | None -> Error (Dead_end { at = current; level = k }))
+    end
+  in
+  if alive src then go src [] 0 else Error (Dead_end { at = src; level = 0 })
+
+let hop_count path = max 0 (List.length path - 1)
+
+let path_cost ~dist path =
+  let rec go acc = function
+    | a :: (b :: _ as rest) -> go (acc +. dist a b) rest
+    | [ _ ] | [] -> acc
+  in
+  go 0. path

@@ -1,0 +1,49 @@
+(** Hypercube suffix routing (paper, Section 2.2).
+
+    A message from [x] to [y] follows primary neighbors, resolving one more
+    suffix digit per hop: the level-[i] hop goes to the current node's
+    [(i, y\[i\])]-neighbor. Since a node is its own [(i, x\[i\])]-neighbor,
+    routing effectively starts at level [csuf(x, y)]. *)
+
+type error =
+  | Unknown_node of Ntcu_id.Id.t  (** No table for an intermediate node. *)
+  | Dead_end of { at : Ntcu_id.Id.t; level : int }
+      (** Required entry is empty — impossible in a consistent network when
+          the destination exists. *)
+
+val pp_error : error Fmt.t
+
+val next_hop : Ntcu_table.Table.t -> dest:Ntcu_id.Id.t -> Ntcu_id.Id.t option
+(** The first routing hop from this table's owner towards [dest]: the
+    [(k, dest\[k\])]-neighbor, where [k = csuf(owner, dest)]. [None] if that
+    entry is empty, [Some owner] never (self-hops are skipped). Returns
+    [Some dest] when the owner is [dest]'s immediate predecessor — and [None]
+    nowhere else if the network is consistent. If [dest] equals the owner, the
+    result is [Some owner]. *)
+
+val route :
+  lookup:(Ntcu_id.Id.t -> Ntcu_table.Table.t option) ->
+  src:Ntcu_id.Id.t ->
+  dst:Ntcu_id.Id.t ->
+  (Ntcu_id.Id.t list, error) result
+(** The full node path from [src] to [dst], both inclusive, skipping self
+    hops. At most [d - csuf(src, dst)] intermediate hops. *)
+
+val route_resilient :
+  lookup:(Ntcu_id.Id.t -> Ntcu_table.Table.t option) ->
+  alive:(Ntcu_id.Id.t -> bool) ->
+  src:Ntcu_id.Id.t ->
+  dst:Ntcu_id.Id.t ->
+  (Ntcu_id.Id.t list, error) result
+(** Like {!route}, but when a hop's primary neighbor is not [alive], fall
+    back to the entry's backup neighbors (paper, Section 2.1's extra
+    neighbors "for fault tolerant routing"). Fails with [Dead_end] only when
+    neither the primary nor any backup of a required entry is alive. *)
+
+val hop_count : Ntcu_id.Id.t list -> int
+(** Number of hops of a path as returned by {!route} ([length - 1], [0] for a
+    self-path). *)
+
+val path_cost : dist:(Ntcu_id.Id.t -> Ntcu_id.Id.t -> float) -> Ntcu_id.Id.t list -> float
+(** Total distance along a path under a distance function (for stretch
+    measurements). *)

@@ -1,0 +1,50 @@
+type t = {
+  mutable clock : float;
+  queue : (unit -> unit) Ntcu_std.Pqueue.t;
+  mutable processed : int;
+}
+
+let create () = { clock = 0.; queue = Ntcu_std.Pqueue.create (); processed = 0 }
+
+let now t = t.clock
+
+let schedule_at t ~time f =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %g is before now %g" time t.clock);
+  Ntcu_std.Pqueue.push t.queue time f
+
+let schedule t ~delay f =
+  if delay < 0. then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) f
+
+let pending t = Ntcu_std.Pqueue.length t.queue
+
+let events_processed t = t.processed
+
+let step t =
+  match Ntcu_std.Pqueue.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+    t.clock <- time;
+    t.processed <- t.processed + 1;
+    f ();
+    true
+
+let run ?(max_events = 100_000_000) t =
+  let fired = ref 0 in
+  while step t do
+    incr fired;
+    if !fired > max_events then
+      failwith
+        (Printf.sprintf "Engine.run: exceeded %d events; suspected livelock" max_events)
+  done
+
+let run_until t ~time =
+  let continue = ref true in
+  while !continue do
+    match Ntcu_std.Pqueue.peek t.queue with
+    | Some (next, _) when next <= time -> ignore (step t)
+    | Some _ | None -> continue := false
+  done;
+  if time > t.clock then t.clock <- time

@@ -1,0 +1,37 @@
+(** Deterministic discrete-event simulation engine.
+
+    Events are thunks scheduled at a virtual time. Events with equal
+    timestamps fire in scheduling order, so a run is a pure function of the
+    initial schedule and the seeds used by the callers. This replaces the
+    authors' (unpublished) event-driven simulator. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time. [0.] before any event has fired. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** [schedule t ~delay f] runs [f] at time [now t +. delay].
+    @raise Invalid_argument if [delay < 0.]. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> unit
+(** [schedule_at t ~time f] runs [f] at absolute time [time].
+    @raise Invalid_argument if [time] is in the past. *)
+
+val pending : t -> int
+(** Number of events not yet fired. *)
+
+val events_processed : t -> int
+
+val step : t -> bool
+(** Fire the next event. Returns [false] when the queue is empty. *)
+
+val run : ?max_events:int -> t -> unit
+(** Fire events until the queue is empty.
+    @raise Failure if more than [max_events] fire (default [100_000_000]),
+    which indicates a protocol livelock rather than a long run. *)
+
+val run_until : t -> time:float -> unit
+(** Fire all events with timestamp [<= time], then set the clock to [time]. *)

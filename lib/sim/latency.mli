@@ -1,0 +1,24 @@
+(** Message-latency models for the simulated network.
+
+    Endpoints are identified by dense integer indices (end-host indices
+    assigned by the harness). The consistency results do not depend on timing,
+    but the latency model shapes the event interleavings that exercise the
+    concurrent-join paths; the paper used shortest-path distances over GT-ITM
+    transit-stub topologies. *)
+
+type t
+
+val constant : float -> t
+(** Every message takes the same time. The degenerate (most synchronous)
+    interleaving. *)
+
+val uniform : seed:int -> lo:float -> hi:float -> t
+(** Independent uniform delay per message in [\[lo, hi)]. *)
+
+val of_distance : ?jitter:float -> ?seed:int -> (src:int -> dst:int -> float) -> t
+(** Delay given by a distance function (e.g. topology shortest paths), plus an
+    optional multiplicative jitter: the delay is scaled by a factor uniform in
+    [\[1, 1 +. jitter)]. [seed] defaults to [0]; [jitter] to [0.]. *)
+
+val sample : t -> src:int -> dst:int -> float
+(** Draw the delay for one message from [src] to [dst]. Always [> 0.]. *)

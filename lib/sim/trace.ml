@@ -1,0 +1,16 @@
+type t = { mutable events : (float * string) list; mutable count : int }
+
+let create () = { events = []; count = 0 }
+
+let record t time label =
+  t.events <- (time, label) :: t.events;
+  t.count <- t.count + 1
+
+let length t = t.count
+
+let to_list t = List.rev t.events
+
+let equal a b = a.count = b.count && a.events = b.events
+
+let pp ppf t =
+  List.iter (fun (time, label) -> Fmt.pf ppf "%12.6f  %s@." time label) (to_list t)

@@ -1,0 +1,21 @@
+(** Append-only event trace.
+
+    Records [(virtual time, label)] pairs. Used by tests to assert that two
+    runs with the same seed produce identical event sequences, and for ad-hoc
+    debugging of protocol runs. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> float -> string -> unit
+
+val length : t -> int
+
+val to_list : t -> (float * string) list
+(** In recording order. *)
+
+val equal : t -> t -> bool
+
+val pp : t Fmt.t
+(** One event per line. *)

@@ -1,0 +1,78 @@
+(* Array-based binary min-heap. Each element carries a monotonically
+   increasing sequence number so that equal keys pop in insertion order. *)
+
+type 'a entry = { key : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array; (* slots [0, size) are live *)
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+
+let length q = q.size
+
+let is_empty q = q.size = 0
+
+let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+(* Extend the backing array, using [fill] (the entry about to be pushed) as
+   the dummy for unused slots so no unsafe placeholder value is needed. *)
+let grow q fill =
+  let cap = Array.length q.heap in
+  let ncap = if cap = 0 then 16 else 2 * cap in
+  let nh = Array.make ncap fill in
+  Array.blit q.heap 0 nh 0 cap;
+  q.heap <- nh
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less q.heap.(i) q.heap.(parent) then begin
+      let tmp = q.heap.(i) in
+      q.heap.(i) <- q.heap.(parent);
+      q.heap.(parent) <- tmp;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 in
+  let r = l + 1 in
+  let smallest = ref i in
+  if l < q.size && less q.heap.(l) q.heap.(!smallest) then smallest := l;
+  if r < q.size && less q.heap.(r) q.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = q.heap.(i) in
+    q.heap.(i) <- q.heap.(!smallest);
+    q.heap.(!smallest) <- tmp;
+    sift_down q !smallest
+  end
+
+let push q key value =
+  let entry = { key; seq = q.next_seq; value } in
+  if q.size = Array.length q.heap then grow q entry;
+  q.heap.(q.size) <- entry;
+  q.next_seq <- q.next_seq + 1;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let peek q = if q.size = 0 then None else Some (q.heap.(0).key, q.heap.(0).value)
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.heap.(0) <- q.heap.(q.size);
+      sift_down q 0
+    end;
+    Some (top.key, top.value)
+  end
+
+let clear q =
+  q.heap <- [||];
+  q.size <- 0;
+  q.next_seq <- 0

@@ -1,0 +1,24 @@
+(** Minimum priority queue on float keys with an insertion-order tie-break.
+
+    Used as the event queue of the discrete-event simulator: events scheduled
+    at the same virtual time are delivered in scheduling order, which makes
+    simulation runs deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** [push q key v] inserts [v] with priority [key]. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Removes and returns the entry with the smallest key; among equal keys, the
+    one pushed first. [None] when empty. *)
+
+val peek : 'a t -> (float * 'a) option
+
+val clear : 'a t -> unit

@@ -1,0 +1,80 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64 output function: one additive step plus two xor-shift-multiply
+   rounds (constants from the reference implementation). *)
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  let seed = bits64 t in
+  { state = seed }
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling on the top 62 bits to avoid modulo bias. *)
+  let mask = Int64.shift_right_logical Int64.minus_one 2 in
+  let rec draw () =
+    let v = Int64.to_int (Int64.logand (bits64 t) mask) in
+    let r = v mod n in
+    if v - r > max_int - n + 1 then draw () else r
+  in
+  draw ()
+
+let float t x =
+  if x <= 0. then invalid_arg "Rng.float: bound must be positive";
+  let v = Int64.shift_right_logical (bits64 t) 11 in
+  (* 53 random bits mapped to [0, 1). *)
+  Int64.to_float v *. (1.0 /. 9007199254740992.0) *. x
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))
+
+let pick_list t l =
+  match l with
+  | [] -> invalid_arg "Rng.pick_list: empty list"
+  | _ -> List.nth l (int t (List.length l))
+
+let sample_without_replacement t k n =
+  if k < 0 || k > n then invalid_arg "Rng.sample_without_replacement";
+  if 3 * k >= n then begin
+    (* Dense case: shuffle a full permutation and take a prefix. *)
+    let a = Array.init n (fun i -> i) in
+    shuffle t a;
+    Array.sub a 0 k
+  end
+  else begin
+    (* Sparse case: draw with rejection against a hash set. *)
+    let seen = Hashtbl.create (2 * k) in
+    let out = Array.make k 0 in
+    let filled = ref 0 in
+    while !filled < k do
+      let v = int t n in
+      if not (Hashtbl.mem seen v) then begin
+        Hashtbl.add seen v ();
+        out.(!filled) <- v;
+        incr filled
+      end
+    done;
+    out
+  end

@@ -1,0 +1,92 @@
+let require_nonempty name data =
+  if Array.length data = 0 then invalid_arg (name ^ ": empty data")
+
+let mean data =
+  require_nonempty "Stats.mean" data;
+  Array.fold_left ( +. ) 0. data /. float_of_int (Array.length data)
+
+let variance data =
+  let n = Array.length data in
+  if n <= 1 then 0.
+  else begin
+    let m = mean data in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. data in
+    acc /. float_of_int (n - 1)
+  end
+
+let stddev data = sqrt (variance data)
+
+let min_max data =
+  require_nonempty "Stats.min_max" data;
+  Array.fold_left
+    (fun (lo, hi) x -> ((if x < lo then x else lo), if x > hi then x else hi))
+    (data.(0), data.(0))
+    data
+
+let percentile data p =
+  require_nonempty "Stats.percentile" data;
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy data in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let rank = p /. 100. *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) in
+  let hi = int_of_float (ceil rank) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let median data = percentile data 50.
+
+type cdf = { xs : float array; ps : float array }
+
+let cdf data =
+  require_nonempty "Stats.cdf" data;
+  let sorted = Array.copy data in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  (* Collapse duplicate values, keeping the cumulative count at each. *)
+  let xs = ref [] and ps = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let v = sorted.(!i) in
+    let j = ref !i in
+    while !j < n && sorted.(!j) = v do
+      incr j
+    done;
+    xs := v :: !xs;
+    ps := (float_of_int !j /. float_of_int n) :: !ps;
+    i := !j
+  done;
+  { xs = Array.of_list (List.rev !xs); ps = Array.of_list (List.rev !ps) }
+
+let cdf_at c x =
+  (* Largest index with xs.(i) <= x, by binary search. *)
+  let n = Array.length c.xs in
+  if n = 0 || x < c.xs.(0) then 0.
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if c.xs.(mid) <= x then lo := mid else hi := mid - 1
+    done;
+    c.ps.(!lo)
+  end
+
+let histogram ?(bins = 10) data =
+  require_nonempty "Stats.histogram" data;
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  let lo, hi = min_max data in
+  let width = if hi = lo then 1. else (hi -. lo) /. float_of_int bins in
+  let counts = Array.make bins 0 in
+  Array.iter
+    (fun x ->
+      let b = int_of_float ((x -. lo) /. width) in
+      let b = if b >= bins then bins - 1 else b in
+      counts.(b) <- counts.(b) + 1)
+    data;
+  Array.mapi (fun i c -> (lo +. (float_of_int i *. width), c)) counts
+
+let of_ints a = Array.map float_of_int a

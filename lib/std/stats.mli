@@ -1,0 +1,36 @@
+(** Small descriptive-statistics toolkit for experiment reporting. *)
+
+val mean : float array -> float
+(** Arithmetic mean. Requires a nonempty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (n-1 denominator); [0.] for arrays of length
+    [<= 1]. *)
+
+val stddev : float array -> float
+
+val min_max : float array -> float * float
+(** Requires a nonempty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile data p] with [p] in [\[0, 100\]], linear interpolation between
+    order statistics. Does not modify [data]. Requires nonempty. *)
+
+val median : float array -> float
+
+type cdf = { xs : float array; ps : float array }
+(** Empirical CDF: [ps.(i)] is the fraction of samples [<= xs.(i)]; [xs] is
+    strictly increasing and covers every distinct sample value. *)
+
+val cdf : float array -> cdf
+(** Empirical cumulative distribution of the samples. Requires nonempty. *)
+
+val cdf_at : cdf -> float -> float
+(** [cdf_at c x] is the fraction of samples [<= x]. *)
+
+val histogram : ?bins:int -> float array -> (float * int) array
+(** [histogram ~bins data] returns [(left_edge, count)] pairs over [bins]
+    equal-width bins spanning the sample range. Requires nonempty. *)
+
+val of_ints : int array -> float array
+(** Convenience conversion. *)

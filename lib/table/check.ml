@@ -1,0 +1,103 @@
+module Id = Ntcu_id.Id
+
+type violation =
+  | False_negative of { node : Id.t; level : int; digit : int; witness : Id.t }
+  | Dangling of { node : Id.t; level : int; digit : int; stored : Id.t }
+  | Wrong_suffix of { node : Id.t; level : int; digit : int; stored : Id.t }
+
+let pp_violation ppf = function
+  | False_negative { node; level; digit; witness } ->
+    Fmt.pf ppf "false negative: (%d,%d)-entry of %a is empty but %a matches" level digit
+      Id.pp node Id.pp witness
+  | Dangling { node; level; digit; stored } ->
+    Fmt.pf ppf "dangling: (%d,%d)-entry of %a stores %a, not a network node" level digit
+      Id.pp node Id.pp stored
+  | Wrong_suffix { node; level; digit; stored } ->
+    Fmt.pf ppf "wrong suffix: (%d,%d)-entry of %a stores %a" level digit Id.pp node Id.pp
+      stored
+
+(* Map from suffix (int array, index 0 = rightmost) to a witness node carrying
+   it. Structural hashing of small int arrays is well distributed. *)
+let suffix_witnesses tables =
+  let witnesses : (int array, Id.t) Hashtbl.t = Hashtbl.create 1024 in
+  List.iter
+    (fun table ->
+      let id = Table.owner table in
+      for len = 1 to Id.length id do
+        let suffix = Id.suffix id len in
+        if not (Hashtbl.mem witnesses suffix) then Hashtbl.add witnesses suffix id
+      done)
+    tables;
+  witnesses
+
+let violations ?(limit = 100) tables =
+  let witnesses = suffix_witnesses tables in
+  let members =
+    List.fold_left (fun acc t -> Id.Set.add (Table.owner t) acc) Id.Set.empty tables
+  in
+  let found = ref [] in
+  let count = ref 0 in
+  let add v =
+    if !count < limit then begin
+      found := v :: !found;
+      incr count
+    end
+  in
+  List.iter
+    (fun table ->
+      let p = Table.params table in
+      let node = Table.owner table in
+      for level = 0 to p.d - 1 do
+        for digit = 0 to p.b - 1 do
+          let suffix = Table.required_suffix table ~level ~digit in
+          match Table.neighbor table ~level ~digit with
+          | None -> begin
+            match Hashtbl.find_opt witnesses suffix with
+            | Some witness -> add (False_negative { node; level; digit; witness })
+            | None -> ()
+          end
+          | Some stored ->
+            if not (Id.Set.mem stored members) then
+              add (Dangling { node; level; digit; stored })
+            else if not (Id.has_suffix stored suffix) then
+              add (Wrong_suffix { node; level; digit; stored })
+        done
+      done)
+    tables;
+  List.rev !found
+
+let is_consistent tables = violations ~limit:1 tables = []
+
+let next_hop_path ~lookup x y =
+  let d = Id.length y in
+  let rec go current hop acc =
+    if Id.equal current y then Some (List.rev (y :: acc))
+    else if hop >= d then None
+    else begin
+      match lookup current with
+      | None -> None
+      | Some table -> begin
+        match Table.neighbor table ~level:hop ~digit:(Id.digit y hop) with
+        | None -> None
+        | Some next ->
+          (* Staying put (self-entry) is a legal zero-cost hop. *)
+          let acc = if Id.equal next current then acc else current :: acc in
+          go next (hop + 1) acc
+      end
+    end
+  in
+  go x 0 []
+
+let all_pairs_reachable tables =
+  let by_id =
+    List.fold_left (fun acc t -> Id.Map.add (Table.owner t) t acc) Id.Map.empty tables
+  in
+  let lookup id = Id.Map.find_opt id by_id in
+  List.for_all
+    (fun tx ->
+      List.for_all
+        (fun ty ->
+          let x = Table.owner tx and y = Table.owner ty in
+          Id.equal x y || next_hop_path ~lookup x y <> None)
+        tables)
+    tables

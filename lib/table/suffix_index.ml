@@ -1,0 +1,33 @@
+module Id = Ntcu_id.Id
+
+type t = {
+  by_suffix : (int array, Id.t list ref) Hashtbl.t;
+  all : Id.t list; (* indexed ids, for the empty suffix *)
+}
+
+let of_ids ids =
+  let by_suffix = Hashtbl.create 1024 in
+  List.iter
+    (fun id ->
+      for len = 1 to Id.length id do
+        let suffix = Id.suffix id len in
+        match Hashtbl.find_opt by_suffix suffix with
+        | Some l -> l := id :: !l
+        | None -> Hashtbl.add by_suffix suffix (ref [ id ])
+      done)
+    ids;
+  { by_suffix; all = ids }
+
+let members t suffix =
+  if Array.length suffix = 0 then t.all
+  else begin
+    match Hashtbl.find_opt t.by_suffix suffix with
+    | Some l -> !l
+    | None -> []
+  end
+
+let mem t suffix = members t suffix <> []
+
+let witness t suffix = match members t suffix with [] -> None | id :: _ -> Some id
+
+let count t suffix = List.length (members t suffix)

@@ -1,0 +1,21 @@
+(** Index of every suffix carried by a set of identifiers.
+
+    Supports the suffix-set queries that pervade the paper ("is
+    [V_{omega}] empty?") in O(1) per query. *)
+
+type t
+
+val of_ids : Ntcu_id.Id.t list -> t
+
+val mem : t -> int array -> bool
+(** Does any indexed identifier end with the suffix? (The empty suffix is in
+    every nonempty index.) *)
+
+val witness : t -> int array -> Ntcu_id.Id.t option
+(** Some identifier ending with the suffix, if any. *)
+
+val members : t -> int array -> Ntcu_id.Id.t list
+(** All identifiers ending with the suffix — the paper's suffix set
+    [V_{omega}]. For the empty suffix this is every indexed identifier. *)
+
+val count : t -> int array -> int

@@ -1,0 +1,196 @@
+module Id = Ntcu_id.Id
+module Params = Ntcu_id.Params
+
+type nstate = T | S
+
+let pp_nstate ppf = function
+  | T -> Fmt.string ppf "T"
+  | S -> Fmt.string ppf "S"
+
+type slot = { node : Id.t; mutable state : nstate }
+
+type t = {
+  params : Params.t;
+  owner : Id.t;
+  slots : slot option array; (* index = level * b + digit *)
+  reverse : Id.Set.t array; (* same indexing *)
+  backup : Id.t list array; (* same indexing; newest first *)
+  backup_capacity : int;
+  mutable filled : int;
+}
+
+let create (params : Params.t) ~owner =
+  if Id.length owner <> params.d then invalid_arg "Table.create: owner ID length mismatch";
+  let size = params.d * params.b in
+  {
+    params;
+    owner;
+    slots = Array.make size None;
+    reverse = Array.make size Id.Set.empty;
+    backup = Array.make size [];
+    backup_capacity = 3;
+    filled = 0;
+  }
+
+let params t = t.params
+let owner t = t.owner
+
+let index t ~level ~digit =
+  if level < 0 || level >= t.params.d then
+    invalid_arg (Printf.sprintf "Table: level %d out of range" level);
+  if digit < 0 || digit >= t.params.b then
+    invalid_arg (Printf.sprintf "Table: digit %d out of range" digit);
+  (level * t.params.b) + digit
+
+let get t ~level ~digit =
+  match t.slots.(index t ~level ~digit) with
+  | None -> None
+  | Some { node; state } -> Some (node, state)
+
+let neighbor t ~level ~digit =
+  match t.slots.(index t ~level ~digit) with
+  | None -> None
+  | Some { node; _ } -> Some node
+
+let required_suffix t ~level ~digit =
+  ignore (index t ~level ~digit);
+  Array.init (level + 1) (fun i -> if i = level then digit else Id.digit t.owner i)
+
+let set t ~level ~digit node state =
+  let i = index t ~level ~digit in
+  let suffix = required_suffix t ~level ~digit in
+  if not (Id.has_suffix node suffix) then
+    invalid_arg
+      (Fmt.str "Table.set: node %a lacks required suffix %a for (%d,%d)-entry of %a"
+         Id.pp node Id.pp_suffix suffix level digit Id.pp t.owner);
+  if t.slots.(i) = None then t.filled <- t.filled + 1;
+  t.slots.(i) <- Some { node; state }
+
+let clear t ~level ~digit =
+  let i = index t ~level ~digit in
+  if t.slots.(i) <> None then t.filled <- t.filled - 1;
+  t.slots.(i) <- None
+
+let set_state t ~level ~digit state =
+  match t.slots.(index t ~level ~digit) with
+  | None -> invalid_arg "Table.set_state: empty entry"
+  | Some slot -> slot.state <- state
+
+let fill_self t state =
+  for level = 0 to t.params.d - 1 do
+    set t ~level ~digit:(Id.digit t.owner level) t.owner state
+  done
+
+let iter t f =
+  for level = 0 to t.params.d - 1 do
+    for digit = 0 to t.params.b - 1 do
+      match t.slots.((level * t.params.b) + digit) with
+      | None -> ()
+      | Some { node; state } -> f ~level ~digit node state
+    done
+  done
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t (fun ~level ~digit node state -> acc := f !acc ~level ~digit node state);
+  !acc
+
+let filled_count t = t.filled
+
+let known_nodes t =
+  fold t ~init:Id.Set.empty ~f:(fun acc ~level:_ ~digit:_ node _ -> Id.Set.add node acc)
+
+let backup_capacity t = t.backup_capacity
+
+let add_backup t ~level ~digit id =
+  let i = index t ~level ~digit in
+  let suffix = required_suffix t ~level ~digit in
+  let is_primary =
+    match t.slots.(i) with Some { node; _ } -> Id.equal node id | None -> false
+  in
+  if
+    Id.equal id t.owner || is_primary
+    || List.exists (Id.equal id) t.backup.(i)
+    || (not (Id.has_suffix id suffix))
+    || List.length t.backup.(i) >= t.backup_capacity
+  then false
+  else begin
+    t.backup.(i) <- id :: t.backup.(i);
+    true
+  end
+
+let backups t ~level ~digit = t.backup.(index t ~level ~digit)
+
+let remove_backup t id =
+  Array.iteri
+    (fun i l -> t.backup.(i) <- List.filter (fun b -> not (Id.equal b id)) l)
+    t.backup
+
+let filter_backups t ~f =
+  Array.iteri (fun i l -> t.backup.(i) <- List.filter f l) t.backup
+
+let promote_backup t ~level ~digit =
+  let i = index t ~level ~digit in
+  match t.backup.(i) with
+  | [] -> None
+  | chosen :: rest ->
+    t.backup.(i) <- rest;
+    set t ~level ~digit chosen S;
+    Some chosen
+
+let add_reverse t ~level ~digit id =
+  let i = index t ~level ~digit in
+  t.reverse.(i) <- Id.Set.add id t.reverse.(i)
+
+let remove_reverse t id =
+  Array.iteri (fun i set -> t.reverse.(i) <- Id.Set.remove id set) t.reverse
+
+let reverse_at t ~level ~digit = t.reverse.(index t ~level ~digit)
+
+let all_reverse t = Array.fold_left Id.Set.union Id.Set.empty t.reverse
+
+module Snapshot = struct
+  type cell = { level : int; digit : int; node : Id.t; state : nstate }
+
+  type t = { owner : Id.t; cells : cell list }
+
+  let of_table_levels table ~lo ~hi =
+    let cells = ref [] in
+    iter table (fun ~level ~digit node state ->
+        if level >= lo && level <= hi then
+          cells := { level; digit; node; state } :: !cells);
+    { owner = table.owner; cells = List.rev !cells }
+
+  let of_table table = of_table_levels table ~lo:0 ~hi:(table.params.d - 1)
+
+  let of_cells ~owner cells = { owner; cells }
+
+  let cell_count t = List.length t.cells
+
+  let iter t f = List.iter f t.cells
+
+  let find t ~level ~digit =
+    List.find_opt (fun c -> c.level = level && c.digit = digit) t.cells
+
+  let filter t ~f = { t with cells = List.filter f t.cells }
+end
+
+let pp ppf t =
+  let d = t.params.d and b = t.params.b in
+  let cell_width = d + 2 in
+  Fmt.pf ppf "Neighbor table of node %a %a@." Id.pp t.owner Params.pp t.params;
+  Fmt.pf ppf "      ";
+  for level = d - 1 downto 0 do
+    Fmt.pf ppf "%*s" cell_width (Printf.sprintf "lvl%d" level)
+  done;
+  Fmt.pf ppf "@.";
+  for digit = 0 to b - 1 do
+    Fmt.pf ppf "j=%-3d " digit;
+    for level = d - 1 downto 0 do
+      match get t ~level ~digit with
+      | None -> Fmt.pf ppf "%*s" cell_width "."
+      | Some (node, T) -> Fmt.pf ppf "%*s" cell_width (Id.to_string node ^ "*")
+      | Some (node, S) -> Fmt.pf ppf "%*s" cell_width (Id.to_string node)
+    done;
+    Fmt.pf ppf "@."
+  done

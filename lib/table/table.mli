@@ -1,0 +1,137 @@
+(** Neighbor tables (paper, Section 2.1).
+
+    A table has [d] levels of [b] entries. The [(i, j)]-entry of node [x]'s
+    table holds a node whose ID shares a common suffix of [i] digits with
+    [x.ID] and whose [i]th digit is [j]. Only primary neighbors are stored
+    (the paper relaxes optimality and keeps one neighbor per entry). Each
+    entry also carries the neighbor's believed status: [S] ("in system") or
+    [T] (still joining); and the table tracks reverse neighbors — the nodes
+    known to store the owner in their own tables. *)
+
+type nstate = T | S
+
+val pp_nstate : nstate Fmt.t
+
+type t
+
+val create : Ntcu_id.Params.t -> owner:Ntcu_id.Id.t -> t
+(** An empty table. No self-entries are filled; see {!fill_self}. *)
+
+val params : t -> Ntcu_id.Params.t
+val owner : t -> Ntcu_id.Id.t
+
+val get : t -> level:int -> digit:int -> (Ntcu_id.Id.t * nstate) option
+(** The [(level, digit)]-entry, or [None] when empty.
+    @raise Invalid_argument if out of range. *)
+
+val neighbor : t -> level:int -> digit:int -> Ntcu_id.Id.t option
+
+val set : t -> level:int -> digit:int -> Ntcu_id.Id.t -> nstate -> unit
+(** Unconditional write (the protocol layer decides when writes are legal).
+    @raise Invalid_argument if the node's ID does not have the suffix required
+    by the entry, which would corrupt routing. *)
+
+val clear : t -> level:int -> digit:int -> unit
+(** Empty the entry (used by the leave protocol). *)
+
+val set_state : t -> level:int -> digit:int -> nstate -> unit
+(** Update the state of a filled entry.
+    @raise Invalid_argument if the entry is empty. *)
+
+val fill_self : t -> nstate -> unit
+(** Set entry [(i, owner[i])] to the owner at every level [i], with the given
+    state — the paper's convention that a node is its own primary
+    [(i, x\[i\])]-neighbor. *)
+
+val required_suffix : t -> level:int -> digit:int -> int array
+(** The suffix (length [level + 1], index 0 = rightmost) that any occupant of
+    the entry must have: [digit . owner[level-1 .. 0]]. *)
+
+val iter : t -> (level:int -> digit:int -> Ntcu_id.Id.t -> nstate -> unit) -> unit
+(** Visit every filled entry, by increasing level then digit. *)
+
+val fold : t -> init:'a -> f:('a -> level:int -> digit:int -> Ntcu_id.Id.t -> nstate -> 'a) -> 'a
+
+val filled_count : t -> int
+
+val known_nodes : t -> Ntcu_id.Id.Set.t
+(** All distinct nodes appearing in the table (including the owner if
+    self-filled). *)
+
+(** {1 Backup neighbors}
+
+    The paper stores one primary neighbor per entry but notes (Section 2.1)
+    that "a subset of these nodes … may be stored in the entry", the extras
+    serving object location or fault-tolerant routing. Backups are additional
+    nodes with the entry's required suffix, harvested opportunistically; they
+    are invisible to the consistency checker (which judges primaries) and are
+    used by resilient routing when the primary is unreachable. *)
+
+val backup_capacity : t -> int
+
+val add_backup : t -> level:int -> digit:int -> Ntcu_id.Id.t -> bool
+(** Record an extra holder of the entry's suffix. No-ops (returning [false])
+    when the node is the owner, the current primary, already a backup, lacks
+    the suffix, or the entry is at capacity. *)
+
+val backups : t -> level:int -> digit:int -> Ntcu_id.Id.t list
+(** Most recently added first. *)
+
+val remove_backup : t -> Ntcu_id.Id.t -> unit
+(** Drop a node from every backup list (departures). *)
+
+val filter_backups : t -> f:(Ntcu_id.Id.t -> bool) -> unit
+(** Keep only backups satisfying [f] (bulk scrubbing after failures). *)
+
+val promote_backup : t -> level:int -> digit:int -> Ntcu_id.Id.t option
+(** Pop the first backup into the primary slot (with state [S]) and return
+    it; [None] when there is no backup. Used to heal an entry whose primary
+    died. *)
+
+(** {1 Reverse neighbors} *)
+
+val add_reverse : t -> level:int -> digit:int -> Ntcu_id.Id.t -> unit
+val remove_reverse : t -> Ntcu_id.Id.t -> unit
+(** Remove the node from every reverse set. *)
+
+val reverse_at : t -> level:int -> digit:int -> Ntcu_id.Id.Set.t
+val all_reverse : t -> Ntcu_id.Id.Set.t
+
+(** {1 Snapshots}
+
+    Immutable sparse copies of a table, embedded in protocol messages (the
+    paper's [x.table] message fields). *)
+
+module Snapshot : sig
+  type table := t
+
+  type cell = { level : int; digit : int; node : Ntcu_id.Id.t; state : nstate }
+
+  type t = private { owner : Ntcu_id.Id.t; cells : cell list }
+  (** [cells] lists the filled entries, by increasing level then digit. *)
+
+  val of_table : table -> t
+
+  val of_table_levels : table -> lo:int -> hi:int -> t
+  (** Only levels in [\[lo, hi\]] — the Section 6.2 level-range reduction. *)
+
+  val of_cells : owner:Ntcu_id.Id.t -> cell list -> t
+  (** Rebuild a snapshot from its parts (wire decoding). The cell list is
+      taken as is. *)
+
+  val cell_count : t -> int
+
+  val iter : t -> (cell -> unit) -> unit
+
+  val find : t -> level:int -> digit:int -> cell option
+  (** The cell at a position, if present. *)
+
+  val filter : t -> f:(cell -> bool) -> t
+  (** Keep only cells satisfying [f] (used by the Section 6.2 bit-vector
+      reply reduction). *)
+end
+
+val pp : t Fmt.t
+(** Figure-1-style grid: one row per digit, one column per level (highest
+    level leftmost), each cell showing the primary neighbor (suffixed [*] when
+    its state is [T]) or blank. *)

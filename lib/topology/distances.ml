@@ -1,0 +1,20 @@
+type t = { graph : Graph.t; cache : (int, float array) Hashtbl.t }
+
+let create graph = { graph; cache = Hashtbl.create 64 }
+
+let from_source t src =
+  match Hashtbl.find_opt t.cache src with
+  | Some dist -> dist
+  | None ->
+    let dist = Graph.dijkstra t.graph src in
+    Hashtbl.add t.cache src dist;
+    dist
+
+let distance t u v =
+  if u = v then 0.
+  else begin
+    let src = min u v and dst = max u v in
+    (from_source t src).(dst)
+  end
+
+let cached_sources t = Hashtbl.length t.cache

@@ -1,0 +1,15 @@
+(** Shortest-path distances with per-source caching.
+
+    Each distinct source triggers one Dijkstra run whose result is cached;
+    symmetry of undirected graphs is exploited by always running from the
+    smaller endpoint. *)
+
+type t
+
+val create : Graph.t -> t
+
+val distance : t -> int -> int -> float
+(** Shortest-path distance between two routers; [infinity] if disconnected. *)
+
+val cached_sources : t -> int
+(** Number of Dijkstra results currently cached (memory diagnostics). *)

@@ -1,0 +1,31 @@
+module Rng = Ntcu_std.Rng
+
+type t = {
+  distances : Distances.t;
+  attach_router : int array;
+  last_mile : float array;
+}
+
+let attach ~seed topo ~n =
+  if n < 0 then invalid_arg "Endhosts.attach: negative host count";
+  let rng = Rng.create seed in
+  let stubs = Transit_stub.stub_routers topo in
+  if Array.length stubs = 0 && n > 0 then
+    invalid_arg "Endhosts.attach: topology has no stub routers";
+  let attach_router = Array.init n (fun _ -> Rng.pick rng stubs) in
+  let last_mile = Array.init n (fun _ -> 0.5 +. Rng.float rng 1.5) in
+  { distances = Distances.create (Transit_stub.graph topo); attach_router; last_mile }
+
+let count t = Array.length t.attach_router
+
+let router_of t host = t.attach_router.(host)
+
+let distance t a b =
+  if a = b then 0.
+  else
+    t.last_mile.(a)
+    +. Distances.distance t.distances t.attach_router.(a) t.attach_router.(b)
+    +. t.last_mile.(b)
+
+let latency ?(jitter = 0.05) ?(seed = 1) t =
+  Ntcu_sim.Latency.of_distance ~jitter ~seed (fun ~src ~dst -> distance t src dst)

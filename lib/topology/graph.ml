@@ -1,0 +1,74 @@
+type t = {
+  adjacency : (int * float) list array; (* adjacency.(u) = [(v, w); ...] *)
+  mutable edges : int;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Graph.create: negative vertex count";
+  { adjacency = Array.make n []; edges = 0 }
+
+let n_vertices t = Array.length t.adjacency
+
+let n_edges t = t.edges
+
+let add_edge t u v w =
+  let n = n_vertices t in
+  if u < 0 || u >= n || v < 0 || v >= n then invalid_arg "Graph.add_edge: bad endpoint";
+  if u = v then invalid_arg "Graph.add_edge: self-loop";
+  if w <= 0. then invalid_arg "Graph.add_edge: non-positive weight";
+  t.adjacency.(u) <- (v, w) :: t.adjacency.(u);
+  t.adjacency.(v) <- (u, w) :: t.adjacency.(v);
+  t.edges <- t.edges + 1
+
+let neighbors t u = t.adjacency.(u)
+
+let degree t u = List.length t.adjacency.(u)
+
+let is_connected t =
+  let n = n_vertices t in
+  if n = 0 then false
+  else begin
+    let seen = Array.make n false in
+    let stack = ref [ 0 ] in
+    seen.(0) <- true;
+    let visited = ref 1 in
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | u :: rest ->
+        stack := rest;
+        List.iter
+          (fun (v, _) ->
+            if not seen.(v) then begin
+              seen.(v) <- true;
+              incr visited;
+              stack := v :: !stack
+            end)
+          t.adjacency.(u)
+    done;
+    !visited = n
+  end
+
+let dijkstra t src =
+  let n = n_vertices t in
+  if src < 0 || src >= n then invalid_arg "Graph.dijkstra: bad source";
+  let dist = Array.make n infinity in
+  let queue = Ntcu_std.Pqueue.create () in
+  dist.(src) <- 0.;
+  Ntcu_std.Pqueue.push queue 0. src;
+  let continue = ref true in
+  while !continue do
+    match Ntcu_std.Pqueue.pop queue with
+    | None -> continue := false
+    | Some (du, u) ->
+      if du <= dist.(u) then
+        List.iter
+          (fun (v, w) ->
+            let alt = du +. w in
+            if alt < dist.(v) then begin
+              dist.(v) <- alt;
+              Ntcu_std.Pqueue.push queue alt v
+            end)
+          t.adjacency.(u)
+  done;
+  dist

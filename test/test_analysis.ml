@@ -1,0 +1,174 @@
+module Params = Ntcu_id.Params
+module Logmath = Ntcu_analysis.Logmath
+module Join_cost = Ntcu_analysis.Join_cost
+module Experiment = Ntcu_harness.Experiment
+
+let check = Alcotest.check
+
+let log_gamma_known_values () =
+  let cases =
+    [
+      (1., 0.);
+      (2., 0.);
+      (3., log 2.);
+      (4., log 6.);
+      (5., log 24.);
+      (0.5, 0.5 *. log Float.pi);
+    ]
+  in
+  List.iter
+    (fun (x, expected) ->
+      check (Alcotest.float 1e-9) (Printf.sprintf "lgamma %g" x) expected
+        (Logmath.log_gamma x))
+    cases
+
+let log_gamma_huge () =
+  (* Stirling check at 1e10:
+     lgamma(x) ~ (x - 1/2) ln x - x + (1/2) ln(2 pi) + 1/(12 x). *)
+  let x = 1e10 in
+  let stirling =
+    ((x -. 0.5) *. log x) -. x +. (0.5 *. log (2. *. Float.pi)) +. (1. /. (12. *. x))
+  in
+  let got = Logmath.log_gamma x in
+  check Alcotest.bool "relative error tiny" true
+    (abs_float (got -. stirling) /. stirling < 1e-10)
+
+let log_factorial_matches () =
+  check (Alcotest.float 1e-9) "10!" (log 3628800.) (Logmath.log_factorial 10);
+  check (Alcotest.float 1e-6) "cache boundary consistent"
+    (Logmath.log_gamma 20001.) (Logmath.log_factorial 20000)
+
+let log_binomial_small_exact () =
+  let cases = [ ((10., 3), 120.); ((5., 0), 1.); ((5., 5), 1.); ((52., 5), 2598960.) ] in
+  List.iter
+    (fun ((n, k), expected) ->
+      check (Alcotest.float 1e-6)
+        (Printf.sprintf "C(%g,%d)" n k)
+        (log expected) (Logmath.log_binomial n k))
+    cases;
+  check Alcotest.bool "k > n" true (Logmath.log_binomial 3. 5 = neg_infinity)
+
+let log_binomial_huge_stable () =
+  (* C(N, k) with N ~ 1e48: log C ~ k log N - log k! to excellent accuracy. *)
+  let n = 1.5e48 and k = 1000 in
+  let approx = (float_of_int k *. log n) -. Logmath.log_factorial k in
+  let got = Logmath.log_binomial n k in
+  check Alcotest.bool "stable at 1e48" true (abs_float (got -. approx) < 1e-6 *. abs_float approx)
+
+let log_sum_basics () =
+  check (Alcotest.float 1e-9) "log(1+1)" (log 2.) (Logmath.log_sum [ 0.; 0. ]);
+  check (Alcotest.float 1e-9) "dominant term" 1000. (Logmath.log_sum [ 1000.; -1000. ]);
+  check Alcotest.bool "empty" true (Logmath.log_sum [] = neg_infinity);
+  let acc = Logmath.Accum.create () in
+  List.iter (Logmath.Accum.add acc) [ log 1.; log 2.; log 3. ];
+  check (Alcotest.float 1e-9) "accum" (log 6.) (Logmath.Accum.log_total acc)
+
+let probabilities_sum_to_one () =
+  List.iter
+    (fun (b, d, n) ->
+      let p = Params.make ~b ~d in
+      let probs = Join_cost.level_probabilities p ~n in
+      let total = Array.fold_left ( +. ) 0. probs in
+      check (Alcotest.float 1e-9) (Printf.sprintf "b=%d d=%d n=%d" b d n) 1.0 total;
+      Array.iter (fun x -> check Alcotest.bool "in [0,1]" true (x >= 0. && x <= 1.)) probs)
+    [ (4, 5, 50); (16, 8, 3096); (16, 40, 7192); (2, 10, 100); (16, 8, 100000) ]
+
+let matches_monte_carlo () =
+  let p = Params.make ~b:4 ~d:5 in
+  let exact = Join_cost.level_probabilities p ~n:50 in
+  let mc = Join_cost.simulate_level_probabilities ~seed:9 ~samples:3000 p ~n:50 in
+  Array.iteri
+    (fun i e ->
+      if abs_float (e -. mc.(i)) > 0.03 then
+        Alcotest.failf "P_%d: exact %.4f vs mc %.4f" i e mc.(i))
+    exact
+
+let paper_bound_values () =
+  (* Section 5.2: "the upper bounds by Theorem 5 are 8.001, 8.001, 6.986, and
+     6.986, respectively" for (n, d) = (3096, 8), (3096, 40), (7192, 8),
+     (7192, 40), all with m = 1000, b = 16. *)
+  List.iter
+    (fun (n, d, expected) ->
+      let p = Params.make ~b:16 ~d in
+      check (Alcotest.float 0.005)
+        (Printf.sprintf "bound n=%d d=%d" n d)
+        expected
+        (Join_cost.theorem5_bound p ~n ~m:1000))
+    [ (3096, 8, 8.001); (3096, 40, 8.001); (7192, 8, 6.986); (7192, 40, 6.986) ]
+
+let bound_dominates_single_join () =
+  List.iter
+    (fun (b, d, n) ->
+      let p = Params.make ~b ~d in
+      let e = Join_cost.expected_join_noti p ~n in
+      let bound = Join_cost.theorem5_bound p ~n ~m:1 in
+      check Alcotest.bool "E(J) below bound" true (e <= bound))
+    [ (16, 8, 3096); (4, 6, 100); (8, 5, 500) ]
+
+let bound_monotone_in_m () =
+  let p = Params.make ~b:16 ~d:8 in
+  let b1 = Join_cost.theorem5_bound p ~n:3096 ~m:500 in
+  let b2 = Join_cost.theorem5_bound p ~n:3096 ~m:1000 in
+  check Alcotest.bool "more joiners, larger bound" true (b2 > b1)
+
+let d_insensitive_beyond_reach () =
+  (* With b = 16 and n ~ thousands, levels above ~4 are unreachable, so d = 8
+     and d = 40 give the same distribution (the paper's curves coincide). *)
+  let p8 = Params.make ~b:16 ~d:8 and p40 = Params.make ~b:16 ~d:40 in
+  List.iter
+    (fun n ->
+      check (Alcotest.float 1e-3) (Printf.sprintf "n=%d" n)
+        (Join_cost.theorem5_bound p8 ~n ~m:500)
+        (Join_cost.theorem5_bound p40 ~n ~m:500))
+    [ 1000; 3096; 10000 ]
+
+let expected_matches_simulated_single_joins () =
+  (* Theorem 4 validation: average J over many single joins approaches the
+     closed form. *)
+  let p = Params.make ~b:4 ~d:6 in
+  let n = 60 in
+  let expected = Join_cost.expected_join_noti p ~n in
+  let total = ref 0 and runs = 40 in
+  for seed = 1 to runs do
+    let run = Experiment.concurrent_joins p ~seed:(1000 + seed) ~n ~m:1 () in
+    (match run.violations with [] -> () | _ -> Alcotest.fail "inconsistent");
+    total := !total + run.join_noti.(0)
+  done;
+  let avg = float_of_int !total /. float_of_int runs in
+  if abs_float (avg -. expected) > 1.0 then
+    Alcotest.failf "Theorem 4 mismatch: simulated %.3f vs expected %.3f" avg expected
+
+let theorem3_bound_value () =
+  check Alcotest.int "d+1" 9 (Join_cost.theorem3_bound (Params.make ~b:16 ~d:8))
+
+let fig15a_series_shape () =
+  let series = Experiment.fig15a_series ~b:16 ~d:8 ~m:500 ~ns:[ 10000; 50000; 100000 ] in
+  check Alcotest.int "points" 3 (List.length series);
+  List.iter
+    (fun (_, bound) -> check Alcotest.bool "positive and small" true (bound > 1. && bound < 20.))
+    series
+
+let suites =
+  [
+    ( "analysis.logmath",
+      [
+        Alcotest.test_case "log_gamma known" `Quick log_gamma_known_values;
+        Alcotest.test_case "log_gamma huge" `Quick log_gamma_huge;
+        Alcotest.test_case "log_factorial" `Quick log_factorial_matches;
+        Alcotest.test_case "log_binomial small" `Quick log_binomial_small_exact;
+        Alcotest.test_case "log_binomial huge" `Quick log_binomial_huge_stable;
+        Alcotest.test_case "log_sum" `Quick log_sum_basics;
+      ] );
+    ( "analysis.join_cost",
+      [
+        Alcotest.test_case "P_i sums to 1" `Quick probabilities_sum_to_one;
+        Alcotest.test_case "P_i vs Monte Carlo" `Quick matches_monte_carlo;
+        Alcotest.test_case "paper bound values" `Quick paper_bound_values;
+        Alcotest.test_case "bound dominates E(J)" `Quick bound_dominates_single_join;
+        Alcotest.test_case "bound monotone in m" `Quick bound_monotone_in_m;
+        Alcotest.test_case "d-insensitivity" `Quick d_insensitive_beyond_reach;
+        Alcotest.test_case "Theorem 4 vs simulation" `Slow expected_matches_simulated_single_joins;
+        Alcotest.test_case "Theorem 3 value" `Quick theorem3_bound_value;
+        Alcotest.test_case "Figure 15a series" `Quick fig15a_series_shape;
+      ] );
+  ]

@@ -1,0 +1,64 @@
+module Params = Ntcu_id.Params
+module Experiment = Ntcu_harness.Experiment
+
+let check = Alcotest.check
+let p = Params.make ~b:4 ~d:6
+
+let sequential_is_consistent () =
+  let r = Experiment.baseline_run p ~seed:1 ~n:40 ~m:25 ~concurrent:false in
+  check Alcotest.bool "done" true r.base_done;
+  check Alcotest.int "consistent" 0 r.base_violations
+
+let sequential_keeps_state_at_existing_nodes () =
+  let r = Experiment.baseline_run p ~seed:2 ~n:40 ~m:25 ~concurrent:false in
+  check Alcotest.bool "pending slots used" true (r.pending_slots > 0);
+  check Alcotest.bool "peak pending positive" true (r.peak_pending >= 1)
+
+let concurrent_dependent_joins_break_it () =
+  (* The motivating failure: across seeds, concurrent joins into a small
+     network leave inconsistencies often (joiners that never learn of each
+     other). The paper's protocol never does — same workload shape is covered
+     by test_protocol. *)
+  let broken = ref 0 in
+  for seed = 1 to 10 do
+    let r = Experiment.baseline_run p ~seed ~n:10 ~m:30 ~concurrent:true in
+    if r.base_violations > 0 then incr broken
+  done;
+  check Alcotest.bool "baseline breaks under concurrency" true (!broken >= 5)
+
+let our_protocol_same_workload_is_consistent () =
+  for seed = 1 to 10 do
+    let run = Experiment.concurrent_joins p ~seed ~n:10 ~m:30 () in
+    check Alcotest.int "ours consistent" 0 (List.length run.violations)
+  done
+
+let our_protocol_has_no_state_at_existing_nodes () =
+  (* Structural claim: seed nodes never hold join-process state. The node
+     record exposes the queues; for seeds they must stay empty. *)
+  let run = Experiment.concurrent_joins p ~seed:3 ~n:30 ~m:30 () in
+  List.iter
+    (fun id ->
+      let node = Ntcu_core.Network.node_exn run.net id in
+      check Alcotest.int "no pending replies at seeds" 0
+        (Ntcu_core.Node.pending_replies node);
+      check Alcotest.int "no queued join waits at seeds" 0
+        (Ntcu_core.Node.queued_join_waits node))
+    run.seeds
+
+let message_counts_populated () =
+  let r = Experiment.baseline_run p ~seed:4 ~n:20 ~m:10 ~concurrent:false in
+  check Alcotest.bool "messages counted" true (r.base_messages > 0)
+
+let suites =
+  [
+    ( "baseline.multicast",
+      [
+        Alcotest.test_case "sequential consistent" `Quick sequential_is_consistent;
+        Alcotest.test_case "state at existing nodes" `Quick sequential_keeps_state_at_existing_nodes;
+        Alcotest.test_case "concurrency breaks baseline" `Quick concurrent_dependent_joins_break_it;
+        Alcotest.test_case "ours survives same workload" `Quick our_protocol_same_workload_is_consistent;
+        Alcotest.test_case "ours: no state at existing nodes" `Quick
+          our_protocol_has_no_state_at_existing_nodes;
+        Alcotest.test_case "message counting" `Quick message_counts_populated;
+      ] );
+  ]

@@ -1,0 +1,186 @@
+module Id = Ntcu_id.Id
+module Params = Ntcu_id.Params
+module Table = Ntcu_table.Table
+module Message = Ntcu_core.Message
+module Codec = Ntcu_core.Codec
+module Rng = Ntcu_std.Rng
+
+let check = Alcotest.check
+let p = Params.make ~b:16 ~d:8
+
+let sample_table rng ~cells =
+  let owner = Id.random rng p in
+  let t = Table.create p ~owner in
+  Table.fill_self t S;
+  let placed = ref 0 in
+  while !placed < cells do
+    let level = Rng.int rng p.Params.d in
+    let digit = Rng.int rng p.Params.b in
+    if Table.neighbor t ~level ~digit = None then begin
+      let suffix = Table.required_suffix t ~level ~digit in
+      let node = Id.random_with_suffix rng p suffix in
+      if not (Id.equal node owner) then begin
+        Table.set t ~level ~digit node (if Rng.bool rng then T else S);
+        incr placed
+      end
+    end
+  done;
+  t
+
+let sample_messages rng =
+  let snap () = Table.Snapshot.of_table (sample_table rng ~cells:10) in
+  let id () = Id.random rng p in
+  [
+    Message.Cp_rst { level = Rng.int rng p.Params.d };
+    Cp_rly { table = snap () };
+    Join_wait;
+    Join_wait_rly { sign = Positive; occupant = id (); table = snap () };
+    Join_wait_rly { sign = Negative; occupant = id (); table = snap () };
+    Join_noti { table = snap (); noti_level = 2; filled = None };
+    Join_noti
+      {
+        table = snap ();
+        noti_level = 1;
+        filled = Some [ (0, 3); (1, 15); (7, 0); (4, 9) ];
+      };
+    Join_noti_rly { sign = Positive; table = snap (); flag = true };
+    Join_noti_rly { sign = Negative; table = snap (); flag = false };
+    In_sys_noti;
+    Spe_noti { origin = id (); subject = id () };
+    Spe_noti_rly { origin = id (); subject = id () };
+    Rv_ngh_noti { level = 3; digit = 14; recorded = T };
+    Rv_ngh_noti_rly { level = 0; digit = 0; state = S };
+  ]
+
+(* Structural message equality via the pretty-printer plus snapshot cells. *)
+let snapshot_to_list (s : Table.Snapshot.t) =
+  let cells = ref [] in
+  Table.Snapshot.iter s (fun c ->
+      cells := (c.level, c.digit, Id.to_string c.node, c.state) :: !cells);
+  (Id.to_string s.owner, List.rev !cells)
+
+let message_repr (m : Message.t) =
+  match m with
+  | Cp_rly { table } -> ("cp_rly", [ snapshot_to_list table ], "")
+  | Join_wait_rly { sign; occupant; table } ->
+    ( "jw_rly",
+      [ snapshot_to_list table ],
+      Fmt.str "%b %s" (sign = Positive) (Id.to_string occupant) )
+  | Join_noti { table; noti_level; filled } ->
+    ( "jn",
+      [ snapshot_to_list table ],
+      Fmt.str "%d %a" noti_level
+        Fmt.(option (list (pair int int)))
+        (Option.map (List.sort compare) filled) )
+  | Join_noti_rly { sign; table; flag } ->
+    ("jn_rly", [ snapshot_to_list table ], Fmt.str "%b %b" (sign = Positive) flag)
+  | other -> ("other", [], Fmt.str "%a" Message.pp other)
+
+let roundtrip_all () =
+  let rng = Rng.create 1 in
+  List.iter
+    (fun m ->
+      let encoded = Codec.encode p m in
+      match Codec.decode p encoded with
+      | Ok m' ->
+        if message_repr m <> message_repr m' then
+          Alcotest.failf "roundtrip mismatch: %a vs %a" Message.pp m Message.pp m'
+      | Error e -> Alcotest.failf "decode failed for %a: %s" Message.pp m e)
+    (sample_messages rng)
+
+let roundtrip_property =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"codec roundtrip on random snapshots"
+       QCheck.(pair small_int (int_range 0 30))
+       (fun (seed, cells) ->
+         let rng = Rng.create seed in
+         let snap = Table.Snapshot.of_table (sample_table rng ~cells) in
+         let m = Message.Cp_rly { table = snap } in
+         match Codec.decode p (Codec.encode p m) with
+         | Ok m' -> message_repr m = message_repr m'
+         | Error _ -> false))
+
+let roundtrip_odd_base () =
+  (* b = 5 needs 3 bits per digit: packing crosses byte boundaries. *)
+  let p5 = Params.make ~b:5 ~d:7 in
+  let rng = Rng.create 2 in
+  for _ = 1 to 50 do
+    let origin = Id.random rng p5 and subject = Id.random rng p5 in
+    let m = Message.Spe_noti { origin; subject } in
+    match Codec.decode p5 (Codec.encode p5 m) with
+    | Ok (Message.Spe_noti { origin = o'; subject = s' }) ->
+      check Alcotest.bool "origin" true (Id.equal origin o');
+      check Alcotest.bool "subject" true (Id.equal subject s')
+    | Ok other -> Alcotest.failf "wrong message: %a" Message.pp other
+    | Error e -> Alcotest.fail e
+  done
+
+let size_matches_encoding () =
+  let rng = Rng.create 3 in
+  List.iter
+    (fun m ->
+      check Alcotest.int
+        (Fmt.str "size of %a" Message.pp m)
+        (String.length (Codec.encode p m))
+        (Codec.encoded_size p m))
+    (sample_messages rng)
+
+let size_model_close_to_wire () =
+  (* Message.size_bytes is the analytical model used for statistics; the real
+     encoding must stay within the model (model includes headroom for
+     transport headers). *)
+  let rng = Rng.create 4 in
+  List.iter
+    (fun m ->
+      let wire = Codec.encoded_size p m in
+      let model = Message.size_bytes p m in
+      if wire > model then
+        Alcotest.failf "wire %d exceeds model %d for %a" wire model Message.pp m)
+    (sample_messages rng)
+
+let rejects_garbage () =
+  (match Codec.decode p "" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty accepted");
+  (match Codec.decode p "\xff" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad tag accepted");
+  (* truncated snapshot *)
+  let m = Message.Cp_rly { table = Table.Snapshot.of_table (sample_table (Rng.create 5) ~cells:5) } in
+  let enc = Codec.encode p m in
+  (match Codec.decode p (String.sub enc 0 (String.length enc - 3)) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncation accepted");
+  (* trailing garbage *)
+  match Codec.decode p (enc ^ "x") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing bytes accepted"
+
+let rejects_out_of_range () =
+  (* A Cp_rst whose level byte exceeds d. *)
+  let bad = "\x00\x20" in
+  match Codec.decode p bad with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "out-of-range level accepted"
+
+let fuzz_never_crashes =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:500 ~name:"decoder total on random bytes"
+       QCheck.(string_of_size (QCheck.Gen.int_range 0 80))
+       (fun s ->
+         match Codec.decode p s with Ok _ -> true | Error _ -> true))
+
+let suites =
+  [
+    ( "core.codec",
+      [
+        Alcotest.test_case "roundtrip all kinds" `Quick roundtrip_all;
+        Alcotest.test_case "odd base packing" `Quick roundtrip_odd_base;
+        Alcotest.test_case "encoded_size" `Quick size_matches_encoding;
+        Alcotest.test_case "wire within model" `Quick size_model_close_to_wire;
+        Alcotest.test_case "rejects garbage" `Quick rejects_garbage;
+        Alcotest.test_case "rejects out-of-range" `Quick rejects_out_of_range;
+        roundtrip_property;
+        fuzz_never_crashes;
+      ] );
+  ]

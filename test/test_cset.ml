@@ -1,0 +1,248 @@
+module Id = Ntcu_id.Id
+module Params = Ntcu_id.Params
+module Cset = Ntcu_cset.Cset
+module Suffix_index = Ntcu_table.Suffix_index
+module Network = Ntcu_core.Network
+module Node = Ntcu_core.Node
+module Experiment = Ntcu_harness.Experiment
+
+let check = Alcotest.check
+
+let p = Params.paper_example_fig2
+let id s = Id.of_string p s
+let v_fig2 = List.map id [ "72430"; "10353"; "62332"; "13141"; "31701" ]
+let w_fig2 = List.map id [ "10261"; "47051"; "00261" ]
+
+let noti_suffix_fig2 () =
+  let idx = Suffix_index.of_ids v_fig2 in
+  List.iter
+    (fun x ->
+      check (Alcotest.array Alcotest.int) "noti suffix is '1'" [| 1 |]
+        (Cset.noti_suffix idx x))
+    w_fig2
+
+let noti_suffix_brute_force () =
+  (* Cross-check against the definition: largest k with V_{x[k-1..0]} nonempty
+     and V_{x[k..0]} empty. *)
+  let rng = Ntcu_std.Rng.create 7 in
+  let pp' = Params.make ~b:4 ~d:6 in
+  let v = Ntcu_harness.Workload.distinct_ids rng pp' ~n:50 in
+  let idx = Suffix_index.of_ids v in
+  for _ = 1 to 100 do
+    let x = Id.random rng pp' in
+    let omega = Cset.noti_suffix idx x in
+    let k = Array.length omega in
+    let count len =
+      List.length (List.filter (fun y -> Id.has_suffix y (Id.suffix x len)) v)
+    in
+    if k > 0 then check Alcotest.bool "V_omega nonempty" true (count k > 0);
+    if k < 6 then check Alcotest.int "V_{x[k..0]} empty" 0 (count (k + 1))
+  done
+
+let noti_suffix_empty_when_no_match () =
+  let pp' = Params.make ~b:4 ~d:4 in
+  let v = [ Id.of_string pp' "1111" ] in
+  let idx = Suffix_index.of_ids v in
+  check (Alcotest.array Alcotest.int) "whole V" [||]
+    (Cset.noti_suffix idx (Id.of_string pp' "2222"))
+
+let template_fig2 () =
+  let t = Cset.template p ~root:[| 1 |] ~w:w_fig2 in
+  (* Children: C51 and C61 (paper Figure 2(b)). *)
+  check Alcotest.int "two children" 2 (List.length t.Cset.children);
+  let suffixes =
+    List.map (fun c -> Fmt.str "%a" Id.pp_suffix c.Cset.suffix) t.Cset.children
+  in
+  check Alcotest.(list string) "child suffixes" [ "51"; "61" ] (List.sort compare suffixes);
+  (* Depth: chain down to the full IDs. *)
+  let rec depth t =
+    1 + List.fold_left (fun acc c -> max acc (depth c)) 0 t.Cset.children
+  in
+  check Alcotest.int "depth to leaves" 5 (depth t);
+  (* Leaf under C61 splits into 00261 and 10261. *)
+  let c61 = List.find (fun c -> c.Cset.suffix = [| 1; 6 |]) t.Cset.children in
+  check Alcotest.int "members of C61" 2 (Id.Set.cardinal c61.Cset.members)
+
+let template_filters_nonmatching () =
+  let t = Cset.template p ~root:[| 9 - 8 |] ~w:(List.map id [ "00000" ]) in
+  check Alcotest.int "no children for foreign joiner" 0 (List.length t.Cset.children)
+
+let run_fig2 seed =
+  let net = Network.create ~latency:(Ntcu_sim.Latency.uniform ~seed ~lo:1. ~hi:80.) p in
+  Network.seed_consistent net ~seed:(seed + 1) v_fig2;
+  List.iter (fun x -> Network.start_join net ~id:x ~gateway:(List.hd v_fig2) ()) w_fig2;
+  Network.run net;
+  net
+
+let realized_conditions_fig2 () =
+  List.iter
+    (fun seed ->
+      let net = run_fig2 seed in
+      check Alcotest.int "consistent" 0 (List.length (Network.check_consistent net));
+      let lookup x = Option.map Node.table (Network.node net x) in
+      let v_root = List.filter (fun x -> Id.has_suffix x [| 1 |]) v_fig2 in
+      let template = Cset.template p ~root:[| 1 |] ~w:w_fig2 in
+      let realized = Cset.realized ~lookup ~v_root ~root:[| 1 |] ~w:w_fig2 in
+      (match Cset.check_condition1 ~template ~realized with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "condition 1 (seed %d): %s" seed e);
+      (match Cset.check_condition2 ~lookup ~v_root ~realized with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "condition 2 (seed %d): %s" seed e);
+      match Cset.check_condition3 ~lookup ~realized ~w:w_fig2 with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "condition 3 (seed %d): %s" seed e)
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let union_covers_w () =
+  let net = run_fig2 42 in
+  let lookup x = Option.map Node.table (Network.node net x) in
+  let v_root = List.filter (fun x -> Id.has_suffix x [| 1 |]) v_fig2 in
+  let realized = Cset.realized ~lookup ~v_root ~root:[| 1 |] ~w:w_fig2 in
+  let union = Cset.union_members realized in
+  List.iter
+    (fun x -> check Alcotest.bool "joiner in some C-set" true (Id.Set.mem x union))
+    w_fig2
+
+let condition_checkers_detect_damage () =
+  let net = run_fig2 9 in
+  let lookup x = Option.map Node.table (Network.node net x) in
+  let v_root = List.filter (fun x -> Id.has_suffix x [| 1 |]) v_fig2 in
+  let realized = Cset.realized ~lookup ~v_root ~root:[| 1 |] ~w:w_fig2 in
+  (* Damage: erase the root members' (1, 6) entries, cutting C61 off. *)
+  List.iter
+    (fun u ->
+      match lookup u with
+      | Some table -> Ntcu_table.Table.clear table ~level:1 ~digit:6
+      | None -> ())
+    v_root;
+  (match Cset.check_condition2 ~lookup ~v_root ~realized with
+  | Ok () -> Alcotest.fail "condition 2 missed the damage"
+  | Error _ -> ());
+  let realized' = Cset.realized ~lookup ~v_root ~root:[| 1 |] ~w:w_fig2 in
+  let template = Cset.template p ~root:[| 1 |] ~w:w_fig2 in
+  match Cset.check_condition1 ~template ~realized:realized' with
+  | Ok () -> Alcotest.fail "condition 1 missed the damage"
+  | Error _ -> ()
+
+let classify_timing_cases () =
+  let open Cset in
+  check Alcotest.bool "single" true (classify_timing [ (0., 1.) ] = Single);
+  check Alcotest.bool "empty" true (classify_timing [] = Single);
+  check Alcotest.bool "sequential" true
+    (classify_timing [ (0., 1.); (2., 3.); (4., 5.) ] = Sequential);
+  check Alcotest.bool "concurrent" true
+    (classify_timing [ (0., 2.); (1., 3.); (2.5, 4.) ] = Concurrent);
+  (* Two overlapping pairs separated by a gap: mixed. *)
+  check Alcotest.bool "mixed" true
+    (classify_timing [ (0., 2.); (1., 3.); (10., 12.); (11., 13.) ] = Mixed)
+
+let dependence_cases () =
+  let pp' = Params.make ~b:4 ~d:4 in
+  let v = List.map (Id.of_string pp') [ "1201"; "2302"; "0033" ] in
+  let idx = Suffix_index.of_ids v in
+  let x = Id.of_string pp' "3301" (* noti suffix 01 *) in
+  let y = Id.of_string pp' "2201" (* noti suffix 01: same set *) in
+  let z = Id.of_string pp' "1102" (* noti suffix 02 *) in
+  check Alcotest.bool "same noti set: dependent" true (Cset.dependent idx ~w:[ x; y; z ] x y);
+  check Alcotest.bool "disjoint noti sets: independent" false
+    (Cset.dependent idx ~w:[ x; y; z ] x z)
+
+let dependence_via_container () =
+  (* x and y have disjoint notification sets, but a third joiner u's
+     notification set contains both (Definition 3.6, second bullet). *)
+  let pp' = Params.make ~b:4 ~d:4 in
+  let v = List.map (Id.of_string pp') [ "1211"; "2321" ] in
+  (* V_1 = both; V_11 = {1211}; V_21 = {2321} *)
+  let idx = Suffix_index.of_ids v in
+  let x = Id.of_string pp' "0011" (* omega = 11 *) in
+  let y = Id.of_string pp' "0021" (* omega = 21 *) in
+  let u = Id.of_string pp' "0031" (* omega = 1 *) in
+  check Alcotest.bool "independent alone" false (Cset.dependent idx ~w:[ x; y ] x y);
+  check Alcotest.bool "dependent via container" true (Cset.dependent idx ~w:[ x; y; u ] x y)
+
+let groups_partition () =
+  let pp' = Params.make ~b:4 ~d:4 in
+  let v = List.map (Id.of_string pp') [ "1201"; "2302" ] in
+  let idx = Suffix_index.of_ids v in
+  let w =
+    List.map (Id.of_string pp') [ "3301"; "2201" (* group: suffix 01 *); "1102" (* suffix 02 *) ]
+  in
+  let groups = Cset.dependency_groups idx ~w in
+  let sizes = List.sort compare (List.map List.length groups) in
+  check Alcotest.(list int) "group sizes" [ 1; 2 ] sizes;
+  let total = List.concat groups in
+  check Alcotest.int "partition covers w" 3 (List.length total)
+
+let pp_tree_renders () =
+  let t = Cset.template p ~root:[| 1 |] ~w:w_fig2 in
+  let s = Fmt.str "%a" Cset.pp_tree t in
+  check Alcotest.bool "nonempty" true (String.length s > 10)
+
+let conditions_hold_on_random_runs () =
+  (* Dependent concurrent joins on a shared suffix; full C-set verification. *)
+  let pp' = Params.make ~b:4 ~d:6 in
+  List.iter
+    (fun seed ->
+      let run =
+        Experiment.concurrent_joins pp' ~suffix:[| 2 |] ~seed ~n:15 ~m:12 ()
+      in
+      check Alcotest.int "consistent" 0 (List.length run.violations);
+      let idx = Suffix_index.of_ids run.seeds in
+      let lookup x = Option.map Node.table (Network.node run.net x) in
+      (* All joiners sharing suffix 2 whose noti set is exactly V_2. *)
+      let groups = ref [] in
+      List.iter
+        (fun x ->
+          let omega = Cset.noti_suffix idx x in
+          let key = Fmt.str "%a" Id.pp_suffix omega in
+          groups :=
+            (match List.assoc_opt key !groups with
+            | Some (o, l) -> (key, (o, x :: l)) :: List.remove_assoc key !groups
+            | None -> (key, (omega, [ x ])) :: !groups))
+        run.joiners;
+      List.iter
+        (fun (_, (omega, w)) ->
+          let v_root = List.filter (fun v -> Id.has_suffix v omega) run.seeds in
+          if v_root <> [] then begin
+            let template = Cset.template pp' ~root:omega ~w in
+            let realized = Cset.realized ~lookup ~v_root ~root:omega ~w in
+            (match Cset.check_condition1 ~template ~realized with
+            | Ok () -> ()
+            | Error e -> Alcotest.failf "cond1 seed %d: %s" seed e);
+            (match Cset.check_condition2 ~lookup ~v_root ~realized with
+            | Ok () -> ()
+            | Error e -> Alcotest.failf "cond2 seed %d: %s" seed e);
+            match Cset.check_condition3 ~lookup ~realized ~w with
+            | Ok () -> ()
+            | Error e -> Alcotest.failf "cond3 seed %d: %s" seed e
+          end)
+        !groups)
+    [ 100; 200; 300 ]
+
+let suites =
+  [
+    ( "cset.structure",
+      [
+        Alcotest.test_case "noti suffix (Figure 2)" `Quick noti_suffix_fig2;
+        Alcotest.test_case "noti suffix vs definition" `Quick noti_suffix_brute_force;
+        Alcotest.test_case "noti suffix empty" `Quick noti_suffix_empty_when_no_match;
+        Alcotest.test_case "template (Figure 2b)" `Quick template_fig2;
+        Alcotest.test_case "template filtering" `Quick template_filters_nonmatching;
+        Alcotest.test_case "pp" `Quick pp_tree_renders;
+      ] );
+    ( "cset.conditions",
+      [
+        Alcotest.test_case "conditions on Figure 2 runs" `Quick realized_conditions_fig2;
+        Alcotest.test_case "union covers W" `Quick union_covers_w;
+        Alcotest.test_case "checkers detect damage" `Quick condition_checkers_detect_damage;
+        Alcotest.test_case "conditions on random runs" `Slow conditions_hold_on_random_runs;
+      ] );
+    ( "cset.classification",
+      [
+        Alcotest.test_case "timing" `Quick classify_timing_cases;
+        Alcotest.test_case "dependence" `Quick dependence_cases;
+        Alcotest.test_case "dependence via container" `Quick dependence_via_container;
+        Alcotest.test_case "groups" `Quick groups_partition;
+      ] );
+  ]

@@ -1,0 +1,136 @@
+module Engine = Ntcu_sim.Engine
+module Latency = Ntcu_sim.Latency
+module Trace = Ntcu_sim.Trace
+
+let check = Alcotest.check
+
+let fires_in_time_order () =
+  let e = Engine.create () in
+  let order = ref [] in
+  Engine.schedule e ~delay:3. (fun () -> order := 3 :: !order);
+  Engine.schedule e ~delay:1. (fun () -> order := 1 :: !order);
+  Engine.schedule e ~delay:2. (fun () -> order := 2 :: !order);
+  Engine.run e;
+  check Alcotest.(list int) "time order" [ 1; 2; 3 ] (List.rev !order)
+
+let ties_fire_in_schedule_order () =
+  let e = Engine.create () in
+  let order = ref [] in
+  List.iter
+    (fun i -> Engine.schedule e ~delay:1. (fun () -> order := i :: !order))
+    [ 1; 2; 3; 4 ];
+  Engine.run e;
+  check Alcotest.(list int) "fifo on ties" [ 1; 2; 3; 4 ] (List.rev !order)
+
+let clock_advances () =
+  let e = Engine.create () in
+  let seen = ref [] in
+  Engine.schedule e ~delay:5. (fun () -> seen := Engine.now e :: !seen);
+  Engine.schedule e ~delay:2. (fun () ->
+      seen := Engine.now e :: !seen;
+      (* nested scheduling is relative to current time *)
+      Engine.schedule e ~delay:1. (fun () -> seen := Engine.now e :: !seen));
+  Engine.run e;
+  check Alcotest.(list (float 1e-9)) "timestamps" [ 2.; 3.; 5. ] (List.rev !seen)
+
+let rejects_past () =
+  let e = Engine.create () in
+  Engine.schedule e ~delay:1. (fun () -> ());
+  Engine.run e;
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule: negative delay") (fun () ->
+      Engine.schedule e ~delay:(-1.) (fun () -> ()));
+  try
+    Engine.schedule_at e ~time:0.5 (fun () -> ());
+    Alcotest.fail "past schedule accepted"
+  with Invalid_argument _ -> ()
+
+let run_until_partial () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  List.iter
+    (fun t -> Engine.schedule e ~delay:t (fun () -> fired := t :: !fired))
+    [ 1.; 2.; 3.; 4. ];
+  Engine.run_until e ~time:2.5;
+  check Alcotest.(list (float 1e-9)) "only early events" [ 1.; 2. ] (List.rev !fired);
+  check Alcotest.int "pending remainder" 2 (Engine.pending e);
+  check (Alcotest.float 1e-9) "clock at target" 2.5 (Engine.now e);
+  Engine.run e;
+  check Alcotest.int "all fired" 4 (List.length !fired)
+
+let livelock_guard () =
+  let e = Engine.create () in
+  let rec reschedule () = Engine.schedule e ~delay:1. reschedule in
+  reschedule ();
+  try
+    Engine.run ~max_events:1000 e;
+    Alcotest.fail "livelock not detected"
+  with Failure _ -> ()
+
+let counts_events () =
+  let e = Engine.create () in
+  for _ = 1 to 10 do
+    Engine.schedule e ~delay:1. (fun () -> ())
+  done;
+  Engine.run e;
+  check Alcotest.int "processed" 10 (Engine.events_processed e)
+
+let latency_constant () =
+  let l = Latency.constant 2.5 in
+  check (Alcotest.float 1e-9) "constant" 2.5 (Latency.sample l ~src:0 ~dst:1)
+
+let latency_uniform_range () =
+  let l = Latency.uniform ~seed:1 ~lo:1. ~hi:5. in
+  for _ = 1 to 100 do
+    let v = Latency.sample l ~src:0 ~dst:1 in
+    if v < 1. || v >= 5. then Alcotest.failf "uniform out of range: %f" v
+  done
+
+let latency_distance_jitter () =
+  let l = Latency.of_distance ~jitter:0.1 ~seed:2 (fun ~src ~dst -> float_of_int (src + dst)) in
+  for _ = 1 to 50 do
+    let v = Latency.sample l ~src:3 ~dst:4 in
+    if v < 7. || v > 7.7 +. 1e-9 then Alcotest.failf "jittered out of range: %f" v
+  done
+
+let latency_validation () =
+  (try
+     ignore (Latency.constant 0.);
+     Alcotest.fail "zero latency accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Latency.uniform ~seed:0 ~lo:5. ~hi:1.);
+    Alcotest.fail "inverted range accepted"
+  with Invalid_argument _ -> ()
+
+let trace_equality () =
+  let a = Trace.create () and b = Trace.create () in
+  Trace.record a 1. "x";
+  Trace.record b 1. "x";
+  check Alcotest.bool "equal traces" true (Trace.equal a b);
+  Trace.record a 2. "y";
+  check Alcotest.bool "diverged traces" false (Trace.equal a b);
+  check Alcotest.int "length" 2 (Trace.length a);
+  check Alcotest.bool "ordering" true (Trace.to_list a = [ (1., "x"); (2., "y") ])
+
+let suites =
+  [
+    ( "sim.engine",
+      [
+        Alcotest.test_case "time order" `Quick fires_in_time_order;
+        Alcotest.test_case "fifo ties" `Quick ties_fire_in_schedule_order;
+        Alcotest.test_case "clock" `Quick clock_advances;
+        Alcotest.test_case "rejects past" `Quick rejects_past;
+        Alcotest.test_case "run_until" `Quick run_until_partial;
+        Alcotest.test_case "livelock guard" `Quick livelock_guard;
+        Alcotest.test_case "event counting" `Quick counts_events;
+      ] );
+    ( "sim.latency",
+      [
+        Alcotest.test_case "constant" `Quick latency_constant;
+        Alcotest.test_case "uniform range" `Quick latency_uniform_range;
+        Alcotest.test_case "distance jitter" `Quick latency_distance_jitter;
+        Alcotest.test_case "validation" `Quick latency_validation;
+        Alcotest.test_case "trace" `Quick trace_equality;
+      ] );
+  ]

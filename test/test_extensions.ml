@@ -1,0 +1,160 @@
+module Id = Ntcu_id.Id
+module Params = Ntcu_id.Params
+module Network = Ntcu_core.Network
+module Node = Ntcu_core.Node
+module Leave = Ntcu_extensions.Leave
+module Optimize = Ntcu_extensions.Optimize
+module Experiment = Ntcu_harness.Experiment
+module Rng = Ntcu_std.Rng
+
+let check = Alcotest.check
+let p = Params.make ~b:4 ~d:6
+
+let build ~seed ~n ~m =
+  let run = Experiment.concurrent_joins p ~seed ~n ~m () in
+  check Alcotest.int "setup consistent" 0 (List.length run.violations);
+  run
+
+let single_leave_preserves_consistency () =
+  let run = build ~seed:1 ~n:20 ~m:10 in
+  let victim = List.hd run.joiners in
+  (match Leave.leave run.net victim with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  check Alcotest.bool "victim gone" false (Network.mem run.net victim);
+  check Alcotest.int "still consistent" 0 (List.length (Network.check_consistent run.net))
+
+let many_leaves_preserve_consistency () =
+  let run = build ~seed:2 ~n:25 ~m:20 in
+  let rng = Rng.create 7 in
+  let all = Array.of_list (Network.ids run.net) in
+  Rng.shuffle rng all;
+  (* Remove half the network, one at a time, checking after each. *)
+  let victims = Array.sub all 0 (Array.length all / 2) in
+  Array.iter
+    (fun victim ->
+      (match Leave.leave run.net victim with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e);
+      match Network.check_consistent run.net with
+      | [] -> ()
+      | v :: _ ->
+        Alcotest.failf "after leave of %a: %a" Id.pp victim Ntcu_table.Check.pp_violation v)
+    victims;
+  check Alcotest.int "size halved" (Array.length all - Array.length victims)
+    (Network.size run.net)
+
+let leave_down_to_one_node () =
+  let run = build ~seed:3 ~n:5 ~m:5 in
+  let ids = Network.ids run.net in
+  let rec drain = function
+    | [ _ ] | [] -> ()
+    | victim :: rest ->
+      (match Leave.leave run.net victim with Ok _ -> () | Error e -> Alcotest.fail e);
+      check Alcotest.int "consistent" 0 (List.length (Network.check_consistent run.net));
+      drain rest
+  in
+  drain ids;
+  check Alcotest.int "one node left" 1 (Network.size run.net)
+
+let leave_then_join_again () =
+  let run = build ~seed:4 ~n:15 ~m:10 in
+  let victim = List.hd run.joiners in
+  (match Leave.leave run.net victim with Ok _ -> () | Error e -> Alcotest.fail e);
+  (* The departed ID can join again through any survivor. *)
+  let gateway = List.hd run.seeds in
+  Network.start_join run.net ~id:victim ~gateway ();
+  Network.run run.net;
+  check Alcotest.bool "rejoined" true (Network.all_in_system run.net);
+  check Alcotest.int "consistent after rejoin" 0
+    (List.length (Network.check_consistent run.net))
+
+let leave_validation () =
+  let run = build ~seed:5 ~n:5 ~m:2 in
+  (match Leave.leave run.net (Id.of_string p "333333") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown node left");
+  (* leaving mid-join is refused *)
+  let joiner = Id.of_string p "012301" in
+  Network.start_join run.net ~id:joiner ~gateway:(List.hd run.seeds) ();
+  match Leave.leave run.net joiner with
+  | Error _ -> Network.run run.net
+  | Ok _ -> Alcotest.fail "mid-join leave accepted"
+
+let leave_many_wrapper () =
+  let run = build ~seed:6 ~n:12 ~m:8 in
+  let victims = Ntcu_harness.Workload.split 5 run.joiners |> fst in
+  (match Leave.leave_many run.net victims with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  check Alcotest.int "consistent" 0 (List.length (Network.check_consistent run.net))
+
+(* --- optimization --- *)
+
+(* Synthetic metric space: hosts on a line, distance = |a - b| by registration
+   order hash. Deterministic and asymmetric-free. *)
+let line_dist net =
+  let ids = Array.of_list (Network.ids net) in
+  let position = Id.Tbl.create 64 in
+  Array.iteri (fun i id -> Id.Tbl.replace position id (float_of_int i)) ids;
+  fun a b ->
+    abs_float (Id.Tbl.find position a -. Id.Tbl.find position b)
+
+let optimize_preserves_consistency () =
+  let run = build ~seed:7 ~n:30 ~m:20 in
+  let dist = line_dist run.net in
+  let improved = Optimize.optimize run.net ~dist in
+  check Alcotest.bool "some improvement happened" true (improved >= 0);
+  check Alcotest.int "still consistent" 0 (List.length (Network.check_consistent run.net))
+
+let optimize_reaches_fixpoint () =
+  let run = build ~seed:8 ~n:30 ~m:20 in
+  let dist = line_dist run.net in
+  ignore (Optimize.optimize ~max_passes:20 run.net ~dist);
+  check Alcotest.int "fixpoint: next pass does nothing" 0 (Optimize.pass run.net ~dist)
+
+let optimize_reduces_stretch () =
+  let run = build ~seed:9 ~n:40 ~m:30 in
+  let dist = line_dist run.net in
+  let before = Optimize.average_route_stretch run.net ~dist ~seed:3 ~samples:200 in
+  let improved = Optimize.optimize run.net ~dist in
+  let after = Optimize.average_route_stretch run.net ~dist ~seed:3 ~samples:200 in
+  check Alcotest.bool "improvements found" true (improved > 0);
+  if after > before +. 1e-9 then
+    Alcotest.failf "stretch worsened: %.3f -> %.3f" before after
+
+let optimize_never_self () =
+  let run = build ~seed:10 ~n:20 ~m:10 in
+  let dist = line_dist run.net in
+  ignore (Optimize.optimize run.net ~dist);
+  (* Self entries must still be self (distance 0 could tempt a bad swap). *)
+  List.iter
+    (fun node ->
+      let id = Node.id node in
+      let table = Node.table node in
+      for level = 0 to 5 do
+        match Ntcu_table.Table.neighbor table ~level ~digit:(Id.digit id level) with
+        | Some occupant -> check Alcotest.bool "self preserved" true (Id.equal occupant id)
+        | None -> Alcotest.fail "self entry missing"
+      done)
+    (Network.nodes run.net)
+
+let suites =
+  [
+    ( "extensions.leave",
+      [
+        Alcotest.test_case "single leave" `Quick single_leave_preserves_consistency;
+        Alcotest.test_case "many leaves" `Quick many_leaves_preserve_consistency;
+        Alcotest.test_case "drain to one" `Quick leave_down_to_one_node;
+        Alcotest.test_case "leave then rejoin" `Quick leave_then_join_again;
+        Alcotest.test_case "validation" `Quick leave_validation;
+        Alcotest.test_case "leave_many" `Quick leave_many_wrapper;
+      ] );
+    ( "extensions.optimize",
+      [
+        Alcotest.test_case "preserves consistency" `Quick optimize_preserves_consistency;
+        Alcotest.test_case "fixpoint" `Quick optimize_reaches_fixpoint;
+        Alcotest.test_case "reduces stretch" `Quick optimize_reduces_stretch;
+        Alcotest.test_case "self entries kept" `Quick optimize_never_self;
+      ] );
+  ]

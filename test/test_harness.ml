@@ -1,0 +1,100 @@
+module Id = Ntcu_id.Id
+module Params = Ntcu_id.Params
+module Workload = Ntcu_harness.Workload
+module Experiment = Ntcu_harness.Experiment
+module Report = Ntcu_harness.Report
+module Rng = Ntcu_std.Rng
+
+let check = Alcotest.check
+let p = Params.make ~b:4 ~d:5
+
+let distinct_ids_distinct () =
+  let rng = Rng.create 1 in
+  let ids = Workload.distinct_ids rng p ~n:200 in
+  check Alcotest.int "count" 200 (List.length ids);
+  check Alcotest.int "distinct" 200
+    (List.length (List.sort_uniq Id.compare ids))
+
+let distinct_ids_avoid () =
+  let rng = Rng.create 2 in
+  let first = Workload.distinct_ids rng p ~n:100 in
+  let second = Workload.distinct_ids ~avoid:(Id.Set.of_list first) rng p ~n:100 in
+  let overlap =
+    List.filter (fun id -> List.exists (Id.equal id) first) second
+  in
+  check Alcotest.int "no overlap" 0 (List.length overlap)
+
+let distinct_ids_suffix () =
+  let rng = Rng.create 3 in
+  let ids = Workload.distinct_ids ~suffix:[| 2; 1 |] rng p ~n:30 in
+  List.iter
+    (fun id -> check Alcotest.bool "suffix kept" true (Id.has_suffix id [| 2; 1 |]))
+    ids
+
+let distinct_ids_space_guard () =
+  let rng = Rng.create 4 in
+  let tiny = Params.make ~b:2 ~d:3 in
+  try
+    ignore (Workload.distinct_ids rng tiny ~n:20);
+    Alcotest.fail "overfull population accepted"
+  with Invalid_argument _ -> ()
+
+let split_cases () =
+  check
+    (Alcotest.pair (Alcotest.list Alcotest.int) (Alcotest.list Alcotest.int))
+    "basic" ([ 1; 2 ], [ 3 ]) (Workload.split 2 [ 1; 2; 3 ]);
+  check
+    (Alcotest.pair (Alcotest.list Alcotest.int) (Alcotest.list Alcotest.int))
+    "short" ([ 1 ], []) (Workload.split 5 [ 1 ])
+
+let cdf_points_cumulative () =
+  let pts = Experiment.cdf_points [| 3; 1; 1; 2 |] in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int (Alcotest.float 1e-9)))
+    "cdf" [ (1, 0.5); (2, 0.75); (3, 1.0) ] pts
+
+let join_run_reports () =
+  let run = Experiment.concurrent_joins p ~seed:5 ~n:10 ~m:5 () in
+  let s = Fmt.str "%a" Report.pp_join_run run in
+  check Alcotest.bool "mentions consistency" true (String.length s > 40)
+
+let fig15b_small_setup () =
+  (* A miniature Figure 15(b): tiny topology, tiny network, full pipeline. *)
+  let setup = { Experiment.d = 8; n = 60; m = 30 } in
+  let run =
+    Experiment.fig15b ~routers:Ntcu_topology.Transit_stub.default_config ~seed:6 setup
+  in
+  check Alcotest.bool "in system" true run.all_in_system;
+  check Alcotest.int "consistent" 0 (List.length run.violations);
+  check Alcotest.int "measured all joiners" 30 (Array.length run.join_noti)
+
+let paper_setups_shape () =
+  check Alcotest.int "four curves" 4 (List.length Experiment.paper_setups);
+  List.iter
+    (fun s ->
+      check Alcotest.bool "paper sizes" true
+        (s.Experiment.m = 1000 && (s.n = 3096 || s.n = 7192) && (s.d = 8 || s.d = 40)))
+    Experiment.paper_setups
+
+let report_table_renders () =
+  let s =
+    Fmt.str "%a" (Report.table ~header:[ "a"; "b" ]) [ [ "1"; "2" ]; [ "333"; "4" ] ]
+  in
+  check Alcotest.bool "contains rows" true (String.length s > 10)
+
+let suites =
+  [
+    ( "harness",
+      [
+        Alcotest.test_case "distinct ids" `Quick distinct_ids_distinct;
+        Alcotest.test_case "avoid set" `Quick distinct_ids_avoid;
+        Alcotest.test_case "suffix constraint" `Quick distinct_ids_suffix;
+        Alcotest.test_case "space guard" `Quick distinct_ids_space_guard;
+        Alcotest.test_case "split" `Quick split_cases;
+        Alcotest.test_case "cdf points" `Quick cdf_points_cumulative;
+        Alcotest.test_case "join-run report" `Quick join_run_reports;
+        Alcotest.test_case "fig15b miniature" `Slow fig15b_small_setup;
+        Alcotest.test_case "paper setups" `Quick paper_setups_shape;
+        Alcotest.test_case "report table" `Quick report_table_renders;
+      ] );
+  ]

@@ -1,0 +1,138 @@
+module Id = Ntcu_id.Id
+module Params = Ntcu_id.Params
+module Rng = Ntcu_std.Rng
+
+let check = Alcotest.check
+let qtest ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let p45 = Params.make ~b:4 ~d:5
+let p16 = Params.make ~b:16 ~d:8
+
+(* Generator for an identifier under params p. *)
+let id_gen p =
+  let open QCheck.Gen in
+  map (fun seed -> Id.random (Rng.create seed) p) int
+
+let arb_id p = QCheck.make ~print:Id.to_string (id_gen p)
+
+let parse_print_example () =
+  let id = Id.of_string p45 "21233" in
+  check Alcotest.string "roundtrip" "21233" (Id.to_string id);
+  check Alcotest.int "digit 0 is rightmost" 3 (Id.digit id 0);
+  check Alcotest.int "digit 4 is leftmost" 2 (Id.digit id 4)
+
+let of_string_validates () =
+  Alcotest.check_raises "wrong length"
+    (Invalid_argument "Id.of_string: expected 5 characters, got 3") (fun () ->
+      ignore (Id.of_string p45 "123"));
+  (try
+     ignore (Id.of_string p45 "91233");
+     Alcotest.fail "digit out of base accepted"
+   with Invalid_argument _ -> ())
+
+let hex_parsing () =
+  let p = Params.make ~b:16 ~d:4 in
+  let id = Id.of_string p "beef" in
+  check Alcotest.string "hex roundtrip" "beef" (Id.to_string id);
+  check Alcotest.int "f = 15" 15 (Id.digit id 0);
+  check Alcotest.int "b = 11" 11 (Id.digit id 3)
+
+let make_validates () =
+  (try
+     ignore (Id.make p45 [| 0; 1; 2; 3 |]);
+     Alcotest.fail "short digit array accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Id.make p45 [| 0; 1; 2; 3; 7 |]);
+    Alcotest.fail "digit >= b accepted"
+  with Invalid_argument _ -> ()
+
+let csuf_examples () =
+  let a = Id.of_string p45 "21233" and b = Id.of_string p45 "01233" in
+  check Alcotest.int "csuf 1233" 4 (Id.csuf_len a b);
+  let c = Id.of_string p45 "21230" in
+  check Alcotest.int "csuf empty" 0 (Id.csuf_len a c);
+  check Alcotest.int "csuf with self" 5 (Id.csuf_len a a)
+
+let suffix_examples () =
+  let a = Id.of_string p45 "21233" in
+  check (Alcotest.array Alcotest.int) "suffix 3" [| 3; 3; 2 |] (Id.suffix a 3);
+  check Alcotest.bool "has suffix" true (Id.has_suffix a [| 3; 3 |]);
+  check Alcotest.bool "lacks suffix" false (Id.has_suffix a [| 2; 3 |])
+
+let random_with_suffix_respects () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 50 do
+    let id = Id.random_with_suffix rng p16 [| 7; 3; 1 |] in
+    check Alcotest.bool "suffix present" true (Id.has_suffix id [| 7; 3; 1 |])
+  done
+
+let csuf_symmetric =
+  qtest "csuf symmetric" QCheck.(pair (arb_id p45) (arb_id p45)) (fun (a, b) ->
+      Id.csuf_len a b = Id.csuf_len b a)
+
+let csuf_reflexive = qtest "csuf(x,x) = d" (arb_id p45) (fun a -> Id.csuf_len a a = 5)
+
+let csuf_equal_iff_d =
+  qtest "csuf = d iff equal" QCheck.(pair (arb_id p45) (arb_id p45)) (fun (a, b) ->
+      Id.csuf_len a b = 5 = Id.equal a b)
+
+let roundtrip_random =
+  qtest "to_string/of_string roundtrip" (arb_id p16) (fun a ->
+      Id.equal a (Id.of_string p16 (Id.to_string a)))
+
+let csuf_triangle =
+  qtest "csuf ultrametric: csuf(a,c) >= min(csuf(a,b), csuf(b,c))"
+    QCheck.(triple (arb_id p45) (arb_id p45) (arb_id p45))
+    (fun (a, b, c) -> Id.csuf_len a c >= min (Id.csuf_len a b) (Id.csuf_len b c))
+
+let compare_total_order =
+  qtest "compare consistent with textual order" QCheck.(pair (arb_id p16) (arb_id p16))
+    (fun (a, b) ->
+      let by_id = compare (Id.compare a b) 0 in
+      let by_str = compare (compare (Id.to_string a) (Id.to_string b)) 0 in
+      by_id = by_str)
+
+let suffix_matches_csuf =
+  qtest "has_suffix via csuf" QCheck.(pair (arb_id p45) (arb_id p45)) (fun (a, b) ->
+      let k = Id.csuf_len a b in
+      Id.has_suffix a (Id.suffix b k)
+      && (k = 5 || not (Id.has_suffix a (Id.suffix b (k + 1)))))
+
+let set_map_usable () =
+  let rng = Rng.create 1 in
+  let ids = List.init 100 (fun _ -> Id.random rng p16) in
+  let set = Id.Set.of_list ids in
+  List.iter (fun id -> check Alcotest.bool "set member" true (Id.Set.mem id set)) ids;
+  let tbl = Id.Tbl.create 16 in
+  List.iteri (fun i id -> Id.Tbl.replace tbl id i) ids;
+  check Alcotest.bool "tbl lookups" true
+    (List.for_all (fun id -> Id.Tbl.mem tbl id) ids)
+
+let pp_suffix_renders () =
+  check Alcotest.string "suffix text" "261" (Fmt.str "%a" Id.pp_suffix [| 1; 6; 2 |]);
+  check Alcotest.string "empty suffix" "" (Fmt.str "%a" Id.pp_suffix [||])
+
+let suites =
+  [
+    ( "id",
+      [
+        Alcotest.test_case "parse/print example" `Quick parse_print_example;
+        Alcotest.test_case "of_string validates" `Quick of_string_validates;
+        Alcotest.test_case "hex parsing" `Quick hex_parsing;
+        Alcotest.test_case "make validates" `Quick make_validates;
+        Alcotest.test_case "csuf examples" `Quick csuf_examples;
+        Alcotest.test_case "suffix examples" `Quick suffix_examples;
+        Alcotest.test_case "random_with_suffix" `Quick random_with_suffix_respects;
+        Alcotest.test_case "sets and tables" `Quick set_map_usable;
+        Alcotest.test_case "pp_suffix" `Quick pp_suffix_renders;
+        csuf_symmetric;
+        csuf_reflexive;
+        csuf_equal_iff_d;
+        roundtrip_random;
+        csuf_triangle;
+        compare_total_order;
+        suffix_matches_csuf;
+      ] );
+  ]

@@ -1,0 +1,25 @@
+let () =
+  Alcotest.run "ntcu"
+    (List.concat
+       [
+         Test_rng.suites;
+         Test_pqueue.suites;
+         Test_stats.suites;
+         Test_id.suites;
+         Test_engine.suites;
+         Test_topology.suites;
+         Test_table.suites;
+         Test_message.suites;
+         Test_codec.suites;
+         Test_node.suites;
+         Test_protocol.suites;
+         Test_cset.suites;
+         Test_routing.suites;
+         Test_analysis.suites;
+         Test_baseline.suites;
+         Test_extensions.suites;
+         Test_recovery.suites;
+         Test_dynamics.suites;
+         Test_resilience.suites;
+         Test_harness.suites;
+       ])

@@ -1,0 +1,124 @@
+module Pqueue = Ntcu_std.Pqueue
+
+let check = Alcotest.check
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let empty_behaviour () =
+  let q = Pqueue.create () in
+  check Alcotest.bool "is_empty" true (Pqueue.is_empty q);
+  check Alcotest.int "length" 0 (Pqueue.length q);
+  check Alcotest.bool "pop none" true (Pqueue.pop q = None);
+  check Alcotest.bool "peek none" true (Pqueue.peek q = None)
+
+let ordering () =
+  let q = Pqueue.create () in
+  List.iter (fun k -> Pqueue.push q k (int_of_float k)) [ 5.; 1.; 3.; 2.; 4. ];
+  let out = ref [] in
+  let rec drain () =
+    match Pqueue.pop q with
+    | Some (_, v) ->
+      out := v :: !out;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  check Alcotest.(list int) "sorted" [ 1; 2; 3; 4; 5 ] (List.rev !out)
+
+let fifo_on_ties () =
+  let q = Pqueue.create () in
+  List.iteri (fun i label -> ignore i; Pqueue.push q 1.0 label) [ "a"; "b"; "c"; "d" ];
+  Pqueue.push q 0.5 "first";
+  let order = ref [] in
+  let rec drain () =
+    match Pqueue.pop q with
+    | Some (_, v) ->
+      order := v :: !order;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  check Alcotest.(list string) "insertion order on equal keys"
+    [ "first"; "a"; "b"; "c"; "d" ]
+    (List.rev !order)
+
+let peek_matches_pop () =
+  let q = Pqueue.create () in
+  List.iter (fun k -> Pqueue.push q k k) [ 9.; 2.; 7. ];
+  (match (Pqueue.peek q, Pqueue.pop q) with
+  | Some (pk, pv), Some (qk, qv) ->
+    check (Alcotest.float 0.) "peek key" pk qk;
+    check (Alcotest.float 0.) "peek value" pv qv
+  | _ -> Alcotest.fail "expected entries");
+  check Alcotest.int "length decremented" 2 (Pqueue.length q)
+
+let clear_resets () =
+  let q = Pqueue.create () in
+  List.iter (fun k -> Pqueue.push q k ()) [ 1.; 2.; 3. ];
+  Pqueue.clear q;
+  check Alcotest.bool "empty after clear" true (Pqueue.is_empty q);
+  Pqueue.push q 1. ();
+  check Alcotest.int "usable after clear" 1 (Pqueue.length q)
+
+let heap_sorts =
+  qtest "pop yields sorted keys" QCheck.(list (float_bound_exclusive 1000.)) (fun keys ->
+      let q = Pqueue.create () in
+      List.iter (fun k -> Pqueue.push q k k) keys;
+      let rec drain acc =
+        match Pqueue.pop q with
+        | Some (k, _) -> drain (k :: acc)
+        | None -> List.rev acc
+      in
+      let out = drain [] in
+      out = List.sort compare keys)
+
+let interleaved_operations =
+  qtest "interleaved push/pop maintains order"
+    QCheck.(list (pair bool (float_bound_exclusive 100.)))
+    (fun operations ->
+      let q = Pqueue.create () in
+      let model = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun (is_pop, key) ->
+          if is_pop then begin
+            match (Pqueue.pop q, !model) with
+            | None, [] -> ()
+            | Some (k, _), m ->
+              let expected = List.fold_left min infinity m in
+              if k <> expected then ok := false
+              else begin
+                (* remove one instance of the minimum *)
+                let removed = ref false in
+                model :=
+                  List.filter
+                    (fun v ->
+                      if (not !removed) && v = expected then begin
+                        removed := true;
+                        false
+                      end
+                      else true)
+                    m
+              end
+            | None, _ :: _ -> ok := false
+          end
+          else begin
+            Pqueue.push q key key;
+            model := key :: !model
+          end)
+        operations;
+      !ok)
+
+let suites =
+  [
+    ( "std.pqueue",
+      [
+        Alcotest.test_case "empty" `Quick empty_behaviour;
+        Alcotest.test_case "ordering" `Quick ordering;
+        Alcotest.test_case "fifo ties" `Quick fifo_on_ties;
+        Alcotest.test_case "peek/pop" `Quick peek_matches_pop;
+        Alcotest.test_case "clear" `Quick clear_resets;
+        heap_sorts;
+        interleaved_operations;
+      ] );
+  ]

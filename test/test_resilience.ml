@@ -1,0 +1,154 @@
+(* Backup neighbors (paper Section 2.1's "extra neighbors ... for fault
+   tolerant routing") and routing resilience before any repair runs. *)
+
+module Id = Ntcu_id.Id
+module Params = Ntcu_id.Params
+module Table = Ntcu_table.Table
+module Network = Ntcu_core.Network
+module Node = Ntcu_core.Node
+module Route = Ntcu_routing.Route
+module Recovery = Ntcu_extensions.Recovery
+module Experiment = Ntcu_harness.Experiment
+module Rng = Ntcu_std.Rng
+
+let check = Alcotest.check
+let p = Params.make ~b:4 ~d:5
+let id s = Id.of_string p s
+
+(* ---- table-level backup semantics ---- *)
+
+let backup_basics () =
+  let t = Table.create p ~owner:(id "21233") in
+  Table.set t ~level:0 ~digit:1 (id "03201") S;
+  check Alcotest.bool "accepted" true (Table.add_backup t ~level:0 ~digit:1 (id "11111"));
+  check Alcotest.bool "duplicate rejected" false
+    (Table.add_backup t ~level:0 ~digit:1 (id "11111"));
+  check Alcotest.bool "primary rejected" false
+    (Table.add_backup t ~level:0 ~digit:1 (id "03201"));
+  check Alcotest.bool "wrong suffix rejected" false
+    (Table.add_backup t ~level:0 ~digit:1 (id "03200"));
+  check Alcotest.bool "owner rejected" false
+    (Table.add_backup t ~level:1 ~digit:3 (id "21233"));
+  check Alcotest.int "one backup" 1 (List.length (Table.backups t ~level:0 ~digit:1))
+
+let backup_capacity_enforced () =
+  let t = Table.create p ~owner:(id "21233") in
+  let cap = Table.backup_capacity t in
+  let accepted = ref 0 in
+  for i = 0 to cap + 2 do
+    (* distinct ids ending in 1 *)
+    let cand = Id.make p [| 1; i mod 4; (i / 4) mod 4; 2; 3 |] in
+    if Table.add_backup t ~level:0 ~digit:1 cand then incr accepted
+  done;
+  check Alcotest.int "capacity respected" cap !accepted
+
+let backup_promote_and_filter () =
+  let t = Table.create p ~owner:(id "21233") in
+  ignore (Table.add_backup t ~level:0 ~digit:1 (id "11111"));
+  ignore (Table.add_backup t ~level:0 ~digit:1 (id "22221"));
+  (match Table.promote_backup t ~level:0 ~digit:1 with
+  | Some promoted ->
+    check Alcotest.string "newest first" "22221" (Id.to_string promoted);
+    check Alcotest.bool "now primary" true
+      (Table.neighbor t ~level:0 ~digit:1 = Some (id "22221"))
+  | None -> Alcotest.fail "expected promotion");
+  Table.filter_backups t ~f:(fun b -> not (Id.equal b (id "11111")));
+  check Alcotest.int "filtered out" 0 (List.length (Table.backups t ~level:0 ~digit:1));
+  check Alcotest.bool "empty entry promotes nothing" true
+    (Table.promote_backup t ~level:2 ~digit:0 = None)
+
+let backup_remove_sweeps () =
+  let t = Table.create p ~owner:(id "21233") in
+  ignore (Table.add_backup t ~level:0 ~digit:1 (id "11111"));
+  ignore (Table.add_backup t ~level:1 ~digit:1 (id "11113"));
+  Table.remove_backup t (id "11111");
+  check Alcotest.int "removed at (0,1)" 0 (List.length (Table.backups t ~level:0 ~digit:1));
+  check Alcotest.int "other kept" 1 (List.length (Table.backups t ~level:1 ~digit:1))
+
+(* ---- protocol harvests backups ---- *)
+
+let joins_harvest_backups () =
+  (* A dense, small ID space forces many occupied-entry encounters. *)
+  let pp' = Params.make ~b:4 ~d:4 in
+  let run = Experiment.concurrent_joins pp' ~seed:3 ~n:40 ~m:60 () in
+  check Alcotest.int "consistent" 0 (List.length run.violations);
+  let total_backups =
+    List.fold_left
+      (fun acc node ->
+        Table.fold (Node.table node) ~init:acc ~f:(fun acc ~level ~digit _ _ ->
+            acc + List.length (Table.backups (Node.table node) ~level ~digit)))
+      0 (Network.nodes run.net)
+  in
+  check Alcotest.bool "backups were harvested" true (total_backups > 50)
+
+(* ---- resilient routing ---- *)
+
+let resilient_route_beats_plain () =
+  let pp' = Params.make ~b:4 ~d:4 in
+  let run = Experiment.concurrent_joins pp' ~seed:5 ~n:40 ~m:60 () in
+  check Alcotest.int "consistent" 0 (List.length run.violations);
+  let net = run.net in
+  ignore (Recovery.fail_random net ~seed:7 ~fraction:0.25);
+  (* No repair: measure routing success among live pairs right after the
+     crashes. *)
+  let alive x = Network.mem net x && not (Network.is_failed net x) in
+  let lookup x = Option.map Node.table (Network.node net x) in
+  let live = Array.of_list (Network.live_ids net) in
+  let rng = Rng.create 11 in
+  let plain_ok = ref 0 and resilient_ok = ref 0 and total = 200 in
+  for _ = 1 to total do
+    let src = Rng.pick rng live and dst = Rng.pick rng live in
+    (match Route.route ~lookup ~src ~dst with
+    | Ok path when List.for_all alive path -> incr plain_ok
+    | Ok _ | Error _ -> ());
+    match Route.route_resilient ~lookup ~alive ~src ~dst with
+    | Ok path ->
+      incr resilient_ok;
+      (* The resilient path is a genuine route: alive throughout, ends at
+         dst, and resolves a digit per hop. *)
+      check Alcotest.bool "alive path" true (List.for_all alive path);
+      let rec monotone = function
+        | a :: (b :: _ as rest) -> Id.csuf_len b dst > Id.csuf_len a dst && monotone rest
+        | [ _ ] | [] -> true
+      in
+      check Alcotest.bool "suffix monotone" true (monotone path)
+    | Error _ -> ()
+  done;
+  check Alcotest.bool "resilient at least as good" true (!resilient_ok >= !plain_ok);
+  check Alcotest.bool "resilience gain is real" true (!resilient_ok > !plain_ok)
+
+let resilient_route_dead_destination () =
+  let run = Experiment.concurrent_joins p ~seed:6 ~n:10 ~m:5 () in
+  let net = run.net in
+  let victim = List.hd run.joiners in
+  Network.fail net victim;
+  let alive x = Network.mem net x && not (Network.is_failed net x) in
+  let lookup x = Option.map Node.table (Network.node net x) in
+  match Route.route_resilient ~lookup ~alive ~src:(List.hd run.seeds) ~dst:victim with
+  | Error (Route.Dead_end _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Route.pp_error e
+  | Ok _ -> Alcotest.fail "routed to a dead destination"
+
+let recovery_uses_backups () =
+  let pp' = Params.make ~b:4 ~d:4 in
+  let run = Experiment.concurrent_joins pp' ~seed:8 ~n:40 ~m:60 () in
+  ignore (Recovery.fail_random run.net ~seed:9 ~fraction:0.2);
+  let report = Recovery.repair run.net in
+  check Alcotest.bool "promotions happened" true (report.repaired_backup > 0);
+  check Alcotest.int "consistent" 0
+    (List.length (Ntcu_table.Check.violations (Network.tables run.net)))
+
+let suites =
+  [
+    ( "resilience",
+      [
+        Alcotest.test_case "backup basics" `Quick backup_basics;
+        Alcotest.test_case "backup capacity" `Quick backup_capacity_enforced;
+        Alcotest.test_case "promote and filter" `Quick backup_promote_and_filter;
+        Alcotest.test_case "remove sweeps" `Quick backup_remove_sweeps;
+        Alcotest.test_case "joins harvest backups" `Quick joins_harvest_backups;
+        Alcotest.test_case "resilient routing" `Quick resilient_route_beats_plain;
+        Alcotest.test_case "dead destination" `Quick resilient_route_dead_destination;
+        Alcotest.test_case "recovery promotes backups" `Quick recovery_uses_backups;
+      ] );
+  ]

@@ -1,0 +1,124 @@
+module Rng = Ntcu_std.Rng
+
+let check = Alcotest.check
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let different_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  check Alcotest.bool "streams differ" true (!same < 4)
+
+let copy_independent () =
+  let a = Rng.create 7 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  check Alcotest.int64 "copy continues identically" (Rng.bits64 a) (Rng.bits64 b);
+  ignore (Rng.bits64 a);
+  (* advancing a does not advance b *)
+  let va = Rng.bits64 a and vb = Rng.bits64 b in
+  check Alcotest.bool "diverged after unequal advances" true (va <> vb)
+
+let split_independent () =
+  let a = Rng.create 9 in
+  let b = Rng.split a in
+  let overlap = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr overlap
+  done;
+  check Alcotest.bool "split streams distinct" true (!overlap = 0)
+
+let int_bounds =
+  qtest "int stays in bounds" QCheck.(pair small_int (int_range 1 1000)) (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let v = Rng.int rng n in
+      v >= 0 && v < n)
+
+let int_rejects_nonpositive () =
+  let rng = Rng.create 0 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let float_bounds =
+  qtest "float stays in bounds" QCheck.(pair small_int (float_range 0.001 1e6))
+    (fun (seed, x) ->
+      let rng = Rng.create seed in
+      let v = Rng.float rng x in
+      v >= 0. && v < x)
+
+let int_roughly_uniform () =
+  let rng = Rng.create 11 in
+  let buckets = Array.make 10 0 in
+  let samples = 100_000 in
+  for _ = 1 to samples do
+    let v = Rng.int rng 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = samples / 10 in
+      if abs (c - expected) > expected / 10 then
+        Alcotest.failf "bucket %d has %d, expected about %d" i c expected)
+    buckets
+
+let shuffle_is_permutation =
+  qtest "shuffle permutes" QCheck.(pair small_int (list small_int)) (fun (seed, l) ->
+      let rng = Rng.create seed in
+      let a = Array.of_list l in
+      Rng.shuffle rng a;
+      List.sort compare (Array.to_list a) = List.sort compare l)
+
+let sample_distinct =
+  qtest "sample_without_replacement distinct and in range"
+    QCheck.(pair small_int (pair (int_range 0 50) (int_range 50 200)))
+    (fun (seed, (k, n)) ->
+      let rng = Rng.create seed in
+      let s = Rng.sample_without_replacement rng k n in
+      let sorted = List.sort_uniq compare (Array.to_list s) in
+      List.length sorted = k && List.for_all (fun v -> v >= 0 && v < n) sorted)
+
+let sample_full_range () =
+  let rng = Rng.create 3 in
+  let s = Rng.sample_without_replacement rng 20 20 in
+  check Alcotest.(list int) "full sample is a permutation"
+    (List.init 20 Fun.id)
+    (List.sort compare (Array.to_list s))
+
+let pick_member =
+  qtest "pick returns a member"
+    QCheck.(pair small_int (array_of_size (QCheck.Gen.int_range 1 20) small_int))
+    (fun (seed, a) ->
+      (* The shrinker may propose arrays below the generator's minimum. *)
+      Array.length a = 0
+      ||
+      let rng = Rng.create seed in
+      let v = Rng.pick rng a in
+      Array.exists (fun x -> x = v) a)
+
+let suites =
+  [
+    ( "std.rng",
+      [
+        Alcotest.test_case "determinism" `Quick determinism;
+        Alcotest.test_case "seeds differ" `Quick different_seeds_differ;
+        Alcotest.test_case "copy" `Quick copy_independent;
+        Alcotest.test_case "split" `Quick split_independent;
+        Alcotest.test_case "int rejects 0" `Quick int_rejects_nonpositive;
+        Alcotest.test_case "uniformity" `Quick int_roughly_uniform;
+        Alcotest.test_case "sample full range" `Quick sample_full_range;
+        int_bounds;
+        float_bounds;
+        shuffle_is_permutation;
+        sample_distinct;
+        pick_member;
+      ] );
+  ]

@@ -1,0 +1,84 @@
+module Stats = Ntcu_std.Stats
+
+let check = Alcotest.check
+let feq = Alcotest.float 1e-9
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let mean_simple () = check feq "mean" 2.5 (Stats.mean [| 1.; 2.; 3.; 4. |])
+
+let mean_empty_rejected () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.mean: empty data") (fun () ->
+      ignore (Stats.mean [||]))
+
+let variance_known () =
+  (* Sample variance of [2;4;4;4;5;5;7;9] with n-1 denominator: 32/7. *)
+  check feq "variance" (32. /. 7.) (Stats.variance [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |])
+
+let variance_singleton () = check feq "variance of one" 0. (Stats.variance [| 42. |])
+
+let percentile_endpoints () =
+  let data = [| 5.; 1.; 3. |] in
+  check feq "p0" 1. (Stats.percentile data 0.);
+  check feq "p100" 5. (Stats.percentile data 100.);
+  check feq "p50" 3. (Stats.percentile data 50.)
+
+let percentile_interpolates () =
+  check feq "p25 of 1..5" 2. (Stats.percentile [| 1.; 2.; 3.; 4.; 5. |] 25.)
+
+let cdf_basic () =
+  let c = Stats.cdf [| 1.; 1.; 2.; 5. |] in
+  check (Alcotest.array feq) "xs" [| 1.; 2.; 5. |] c.Stats.xs;
+  check (Alcotest.array feq) "ps" [| 0.5; 0.75; 1.0 |] c.Stats.ps
+
+let cdf_at_queries () =
+  let c = Stats.cdf [| 1.; 1.; 2.; 5. |] in
+  check feq "below" 0. (Stats.cdf_at c 0.5);
+  check feq "at 1" 0.5 (Stats.cdf_at c 1.);
+  check feq "between" 0.75 (Stats.cdf_at c 3.);
+  check feq "above" 1.0 (Stats.cdf_at c 100.)
+
+let histogram_counts () =
+  let h = Stats.histogram ~bins:2 [| 0.; 1.; 2.; 3. |] in
+  check Alcotest.int "bins" 2 (Array.length h);
+  let total = Array.fold_left (fun acc (_, c) -> acc + c) 0 h in
+  check Alcotest.int "total count" 4 total
+
+let mean_bounds =
+  qtest "mean between min and max"
+    QCheck.(array_of_size (QCheck.Gen.int_range 1 50) (float_bound_exclusive 100.))
+    (fun data ->
+      let m = Stats.mean data in
+      let lo, hi = Stats.min_max data in
+      m >= lo -. 1e-9 && m <= hi +. 1e-9)
+
+let cdf_monotone =
+  qtest "cdf is monotone and ends at 1"
+    QCheck.(array_of_size (QCheck.Gen.int_range 1 50) (float_bound_exclusive 100.))
+    (fun data ->
+      let c = Stats.cdf data in
+      let n = Array.length c.Stats.ps in
+      let monotone = ref true in
+      for i = 0 to n - 2 do
+        if c.Stats.ps.(i) > c.Stats.ps.(i + 1) then monotone := false;
+        if c.Stats.xs.(i) >= c.Stats.xs.(i + 1) then monotone := false
+      done;
+      !monotone && abs_float (c.Stats.ps.(n - 1) -. 1.0) < 1e-9)
+
+let suites =
+  [
+    ( "std.stats",
+      [
+        Alcotest.test_case "mean" `Quick mean_simple;
+        Alcotest.test_case "mean empty" `Quick mean_empty_rejected;
+        Alcotest.test_case "variance" `Quick variance_known;
+        Alcotest.test_case "variance singleton" `Quick variance_singleton;
+        Alcotest.test_case "percentile endpoints" `Quick percentile_endpoints;
+        Alcotest.test_case "percentile interpolation" `Quick percentile_interpolates;
+        Alcotest.test_case "cdf" `Quick cdf_basic;
+        Alcotest.test_case "cdf_at" `Quick cdf_at_queries;
+        Alcotest.test_case "histogram" `Quick histogram_counts;
+        mean_bounds;
+        cdf_monotone;
+      ] );
+  ]

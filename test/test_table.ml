@@ -1,0 +1,241 @@
+module Id = Ntcu_id.Id
+module Params = Ntcu_id.Params
+module Table = Ntcu_table.Table
+module Check = Ntcu_table.Check
+module Suffix_index = Ntcu_table.Suffix_index
+
+let check = Alcotest.check
+let p = Params.make ~b:4 ~d:5
+let id s = Id.of_string p s
+
+let set_get () =
+  let t = Table.create p ~owner:(id "21233") in
+  check Alcotest.int "initially empty" 0 (Table.filled_count t);
+  Table.set t ~level:0 ~digit:1 (id "03201") T;
+  (match Table.get t ~level:0 ~digit:1 with
+  | Some (n, Table.T) -> check Alcotest.string "stored" "03201" (Id.to_string n)
+  | _ -> Alcotest.fail "entry missing");
+  check Alcotest.int "filled" 1 (Table.filled_count t);
+  Table.clear t ~level:0 ~digit:1;
+  check Alcotest.int "cleared" 0 (Table.filled_count t);
+  check Alcotest.bool "empty again" true (Table.get t ~level:0 ~digit:1 = None)
+
+let set_validates_suffix () =
+  let t = Table.create p ~owner:(id "21233") in
+  (* (2, 1)-entry requires suffix 133; 03201 does not end with 133. *)
+  try
+    Table.set t ~level:2 ~digit:1 (id "03201") S;
+    Alcotest.fail "wrong suffix accepted"
+  with Invalid_argument _ -> ()
+
+let required_suffix_examples () =
+  let t = Table.create p ~owner:(id "21233") in
+  check (Alcotest.array Alcotest.int) "(0,1)" [| 1 |] (Table.required_suffix t ~level:0 ~digit:1);
+  check (Alcotest.array Alcotest.int) "(2,0)" [| 3; 3; 0 |]
+    (Table.required_suffix t ~level:2 ~digit:0);
+  (* digit index 0 is rightmost: suffix (2,0) means 0 then 33 => textual "033" *)
+  check Alcotest.string "text form" "033"
+    (Fmt.str "%a" Id.pp_suffix (Table.required_suffix t ~level:2 ~digit:0))
+
+let set_state_transitions () =
+  let t = Table.create p ~owner:(id "21233") in
+  Table.set t ~level:0 ~digit:1 (id "03201") T;
+  Table.set_state t ~level:0 ~digit:1 S;
+  (match Table.get t ~level:0 ~digit:1 with
+  | Some (_, Table.S) -> ()
+  | _ -> Alcotest.fail "state not updated");
+  Alcotest.check_raises "empty entry" (Invalid_argument "Table.set_state: empty entry")
+    (fun () -> Table.set_state t ~level:3 ~digit:0 S)
+
+let fill_self_diagonal () =
+  let owner = id "21233" in
+  let t = Table.create p ~owner in
+  Table.fill_self t S;
+  for level = 0 to 4 do
+    match Table.get t ~level ~digit:(Id.digit owner level) with
+    | Some (n, Table.S) -> check Alcotest.bool "self" true (Id.equal n owner)
+    | _ -> Alcotest.fail "self entry missing"
+  done;
+  check Alcotest.int "exactly d entries" 5 (Table.filled_count t)
+
+let out_of_range_rejected () =
+  let t = Table.create p ~owner:(id "21233") in
+  (try
+     ignore (Table.get t ~level:5 ~digit:0);
+     Alcotest.fail "bad level accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Table.get t ~level:0 ~digit:4);
+    Alcotest.fail "bad digit accepted"
+  with Invalid_argument _ -> ()
+
+let iter_order_and_fold () =
+  let t = Table.create p ~owner:(id "21233") in
+  Table.set t ~level:0 ~digit:0 (id "13120") T;
+  Table.set t ~level:1 ~digit:0 (id "20103") S;
+  Table.set t ~level:0 ~digit:2 (id "00002") T;
+  let visited = ref [] in
+  Table.iter t (fun ~level ~digit _ _ -> visited := (level, digit) :: !visited);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "level-major order"
+    [ (0, 0); (0, 2); (1, 0) ]
+    (List.rev !visited);
+  let count = Table.fold t ~init:0 ~f:(fun acc ~level:_ ~digit:_ _ _ -> acc + 1) in
+  check Alcotest.int "fold counts" 3 count
+
+let reverse_sets () =
+  let t = Table.create p ~owner:(id "21233") in
+  Table.add_reverse t ~level:1 ~digit:2 (id "00023");
+  Table.add_reverse t ~level:1 ~digit:2 (id "00023");
+  Table.add_reverse t ~level:0 ~digit:3 (id "13120");
+  check Alcotest.int "dedup" 1 (Id.Set.cardinal (Table.reverse_at t ~level:1 ~digit:2));
+  check Alcotest.int "union" 2 (Id.Set.cardinal (Table.all_reverse t));
+  Table.remove_reverse t (id "00023");
+  check Alcotest.int "removed everywhere" 1 (Id.Set.cardinal (Table.all_reverse t))
+
+let snapshot_roundtrip () =
+  let t = Table.create p ~owner:(id "21233") in
+  Table.fill_self t S;
+  Table.set t ~level:0 ~digit:1 (id "03201") T;
+  let snap = Table.Snapshot.of_table t in
+  check Alcotest.int "cell count" 6 (Table.Snapshot.cell_count snap);
+  (match Table.Snapshot.find snap ~level:0 ~digit:1 with
+  | Some cell -> check Alcotest.string "cell node" "03201" (Id.to_string cell.node)
+  | None -> Alcotest.fail "cell missing");
+  let low = Table.Snapshot.of_table_levels t ~lo:0 ~hi:0 in
+  check Alcotest.int "level filter" 2 (Table.Snapshot.cell_count low);
+  let filtered = Table.Snapshot.filter snap ~f:(fun c -> c.level > 0) in
+  check Alcotest.int "predicate filter" 4 (Table.Snapshot.cell_count filtered)
+
+let known_nodes_collects () =
+  let t = Table.create p ~owner:(id "21233") in
+  Table.fill_self t S;
+  Table.set t ~level:0 ~digit:1 (id "03201") T;
+  let known = Table.known_nodes t in
+  check Alcotest.int "distinct nodes" 2 (Id.Set.cardinal known)
+
+(* --- suffix index --- *)
+
+let suffix_index_queries () =
+  let ids = List.map id [ "21233"; "01233"; "13120" ] in
+  let idx = Suffix_index.of_ids ids in
+  check Alcotest.bool "suffix 3" true (Suffix_index.mem idx [| 3 |]);
+  check Alcotest.bool "suffix 33" true (Suffix_index.mem idx [| 3; 3 |]);
+  check Alcotest.bool "missing" false (Suffix_index.mem idx [| 1; 1 |]);
+  check Alcotest.int "members of 1233" 2 (Suffix_index.count idx [| 3; 3; 2; 1 |]);
+  check Alcotest.int "empty suffix = all" 3 (List.length (Suffix_index.members idx [||]));
+  match Suffix_index.witness idx [| 0 |] with
+  | Some w -> check Alcotest.string "witness ends with 0" "13120" (Id.to_string w)
+  | None -> Alcotest.fail "witness missing"
+
+(* --- consistency checker --- *)
+
+(* A hand-built consistent 3-node network over b=2, d=2: 00, 01, 10. *)
+let tiny = Params.make ~b:2 ~d:2
+let tid s = Id.of_string tiny s
+
+let build_tiny_consistent () =
+  let t00 = Table.create tiny ~owner:(tid "00") in
+  let t01 = Table.create tiny ~owner:(tid "01") in
+  let t10 = Table.create tiny ~owner:(tid "10") in
+  Table.fill_self t00 S;
+  Table.fill_self t01 S;
+  Table.fill_self t10 S;
+  (* 00: needs (0,1)->x1 (01), (1,1)->x10 *)
+  Table.set t00 ~level:0 ~digit:1 (tid "01") S;
+  Table.set t00 ~level:1 ~digit:1 (tid "10") S;
+  (* 01: needs (0,0)->x0 (00 or 10) *)
+  Table.set t01 ~level:0 ~digit:0 (tid "00") S;
+  (* 10: needs (0,1)->01, (1,0)->00 *)
+  Table.set t10 ~level:0 ~digit:1 (tid "01") S;
+  Table.set t10 ~level:1 ~digit:0 (tid "00") S;
+  [ t00; t01; t10 ]
+
+let checker_accepts_consistent () =
+  let tables = build_tiny_consistent () in
+  check Alcotest.int "no violations" 0 (List.length (Check.violations tables));
+  check Alcotest.bool "is_consistent" true (Check.is_consistent tables)
+
+let checker_detects_false_negative () =
+  let tables = build_tiny_consistent () in
+  let t00 = List.hd tables in
+  Table.clear t00 ~level:0 ~digit:1;
+  let violations = Check.violations tables in
+  check Alcotest.bool "found" true
+    (List.exists (function Check.False_negative _ -> true | _ -> false) violations)
+
+let checker_detects_dangling () =
+  let tables = build_tiny_consistent () in
+  let t00 = List.hd tables in
+  (* 11 has the required suffix for 00's (0,1)-entry but is not a network
+     member. *)
+  Table.set t00 ~level:0 ~digit:1 (tid "11") S;
+  let violations = Check.violations tables in
+  check Alcotest.bool "found dangling" true
+    (List.exists (function Check.Dangling _ -> true | _ -> false) violations)
+
+let checker_limit () =
+  let tables = build_tiny_consistent () in
+  List.iter (fun t -> Table.clear t ~level:0 ~digit:1) tables;
+  let violations = Check.violations ~limit:1 tables in
+  check Alcotest.int "limited" 1 (List.length violations)
+
+let reachability_on_consistent () =
+  let tables = build_tiny_consistent () in
+  check Alcotest.bool "all pairs reachable" true (Check.all_pairs_reachable tables);
+  let by_id =
+    List.fold_left (fun acc t -> Id.Map.add (Table.owner t) t acc) Id.Map.empty tables
+  in
+  let lookup i = Id.Map.find_opt i by_id in
+  match Check.next_hop_path ~lookup (tid "00") (tid "10") with
+  | Some path ->
+    check Alcotest.(list string) "path" [ "00"; "10" ] (List.map Id.to_string path)
+  | None -> Alcotest.fail "no path"
+
+let reachability_detects_break () =
+  let tables = build_tiny_consistent () in
+  let t00 = List.hd tables in
+  Table.clear t00 ~level:1 ~digit:1;
+  check Alcotest.bool "broken" false (Check.all_pairs_reachable tables)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let pp_table_renders () =
+  let t = Table.create p ~owner:(id "21233") in
+  Table.fill_self t S;
+  let s = Fmt.str "%a" Table.pp t in
+  check Alcotest.bool "mentions owner" true (contains ~needle:"21233" s);
+  check Alcotest.bool "mentions levels" true (contains ~needle:"lvl4" s)
+
+let suites =
+  [
+    ( "table",
+      [
+        Alcotest.test_case "set/get/clear" `Quick set_get;
+        Alcotest.test_case "suffix validation" `Quick set_validates_suffix;
+        Alcotest.test_case "required suffix" `Quick required_suffix_examples;
+        Alcotest.test_case "state transitions" `Quick set_state_transitions;
+        Alcotest.test_case "fill_self" `Quick fill_self_diagonal;
+        Alcotest.test_case "range checks" `Quick out_of_range_rejected;
+        Alcotest.test_case "iter/fold" `Quick iter_order_and_fold;
+        Alcotest.test_case "reverse sets" `Quick reverse_sets;
+        Alcotest.test_case "snapshots" `Quick snapshot_roundtrip;
+        Alcotest.test_case "known nodes" `Quick known_nodes_collects;
+        Alcotest.test_case "pp" `Quick pp_table_renders;
+      ] );
+    ( "table.suffix_index",
+      [ Alcotest.test_case "queries" `Quick suffix_index_queries ] );
+    ( "table.check",
+      [
+        Alcotest.test_case "accepts consistent" `Quick checker_accepts_consistent;
+        Alcotest.test_case "false negative" `Quick checker_detects_false_negative;
+        Alcotest.test_case "dangling" `Quick checker_detects_dangling;
+        Alcotest.test_case "limit" `Quick checker_limit;
+        Alcotest.test_case "reachability" `Quick reachability_on_consistent;
+        Alcotest.test_case "reachability break" `Quick reachability_detects_break;
+      ] );
+  ]
