@@ -8,9 +8,11 @@
      dune exec bench/main.exe                 -- everything, default scale
      dune exec bench/main.exe -- fig15a       -- only that section
      dune exec bench/main.exe -- --full ...   -- paper-scale router topology
+     dune exec bench/main.exe -- --smoke ...  -- tiny parameters (CI smoke)
 
    Sections: fig15a fig15b avg-vs-bound theorem3 theorem4 baseline msgsize
-             census latency-ablation optimize churn assumption resilience micro *)
+             census latency-ablation optimize churn assumption resilience fault
+             micro *)
 
 module Id = Ntcu_id.Id
 module Params = Ntcu_id.Params
@@ -451,6 +453,54 @@ let resilience () =
        ~header:[ "crashed"; "primaries only"; "with backup neighbors" ])
     rows
 
+(* ---- Fault injection: the reliability layer vs loss and crashes ---- *)
+
+let fault ~smoke () =
+  section "Fault injection: ack/retransmit + suspicion + online repair vs loss and crashes";
+  let p = Params.make ~b:16 ~d:8 in
+  let n = if smoke then 60 else 300 in
+  let m = if smoke then 8 else 100 in
+  let cell (f : Experiment.fault_run) =
+    Printf.sprintf "%s/%s%s"
+      (if f.run.all_in_system then "live" else Printf.sprintf "%d stuck" f.stuck)
+      (if Experiment.consistent f.run then "ok"
+       else Printf.sprintf "%d viol" (List.length f.run.violations))
+      (if f.retransmissions > 0 then Printf.sprintf " (%d rtx)" f.retransmissions else "")
+  in
+  let losses = if smoke then [ 0.02 ] else [ 0.01; 0.02; 0.05 ] in
+  let crashes = if smoke then [ 0.0; 0.02 ] else [ 0.0; 0.01; 0.03 ] in
+  let rows =
+    List.map
+      (fun loss ->
+        Printf.sprintf "%.0f%%" (100. *. loss)
+        :: List.map
+             (fun crash_fraction ->
+               cell
+                 (Experiment.fault_injection ~loss ~crash_fraction p ~seed:91 ~n ~m ()))
+             crashes)
+      losses
+  in
+  let header =
+    "loss \\ crash"
+    :: List.map (fun c -> Printf.sprintf "%.0f%% crash" (100. *. c)) crashes
+  in
+  pf "n=%d, m=%d, retransmit ON:@." n m;
+  pf "%a" (Report.table ~header) rows;
+  (* Control: the same workload with the transport disabled reproduces the
+     undefended wedge (assumption-(iii) ablation). *)
+  let off =
+    Experiment.fault_injection ~reliable:false ~loss:0.02 ~crash_fraction:0. p ~seed:91 ~n
+      ~m ()
+  in
+  pf "retransmit OFF control (2%% loss, no crash): %d stuck joiners, %d lost@." off.stuck
+    off.lost;
+  let detail =
+    Experiment.fault_injection ~loss:0.02
+      ~crash_fraction:(if smoke then 0.02 else 0.01)
+      p ~seed:92 ~n ~m ()
+  in
+  pf "detail (2%% loss + crash): %a" Report.pp_fault_run detail
+
 (* ---- Bechamel microbenchmarks ---- *)
 
 let micro () =
@@ -507,6 +557,7 @@ let micro () =
 let () =
   let args = Array.to_list Sys.argv in
   let full = List.exists (( = ) "--full") args in
+  let smoke = List.exists (( = ) "--smoke") args in
   let routers =
     if full then Ntcu_topology.Transit_stub.paper_config
     else Ntcu_topology.Transit_stub.scaled_config
@@ -533,5 +584,6 @@ let () =
   if want "assumption" then assumption ();
   if want "resilience" then resilience ();
   if want "churn" then churn ();
+  if want "fault" then fault ~smoke ();
   if want "micro" then micro ();
   pf "@.done.@."

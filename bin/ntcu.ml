@@ -246,6 +246,42 @@ let recovery_cmd =
        ~doc:"Build a network, crash a fraction of it, repair, verify consistency.")
     Term.(const run $ n_arg $ m_arg $ b_arg $ d_arg $ seed_arg $ fraction)
 
+(* ---- fault ---- *)
+
+let fault_cmd =
+  let run n m b d seed loss crash unreliable =
+    let p = Params.make ~b ~d in
+    let f =
+      Experiment.fault_injection ~reliable:(not unreliable) ~loss ~crash_fraction:crash p
+        ~seed ~n ~m ()
+    in
+    Format.printf "%a" Report.pp_fault_run f;
+    if f.run.all_in_system && Experiment.consistent f.run then 0 else 1
+  in
+  let loss =
+    Arg.(
+      value & opt float 0.02
+      & info [ "loss" ] ~docv:"P" ~doc:"In-transit loss probability per message copy.")
+  in
+  let crash =
+    Arg.(
+      value & opt float 0.01
+      & info [ "crash" ] ~docv:"F"
+          ~doc:"Fraction of (non-gateway) seed nodes that fail-stop mid-join.")
+  in
+  let unreliable =
+    Arg.(
+      value & flag
+      & info [ "unreliable" ]
+          ~doc:"Disable the ack/retransmit transport (reproduces the undefended wedge).")
+  in
+  Cmd.v
+    (Cmd.info "fault"
+       ~doc:
+         "Run concurrent joins under message loss and mid-join crashes with the \
+          reliability layer (ack/retransmit, failure suspicion, online repair).")
+    Term.(const run $ n_arg $ m_arg $ b_arg $ d_arg $ seed_arg $ loss $ crash $ unreliable)
+
 let main =
   Cmd.group
     (Cmd.info "ntcu" ~version:"1.0.0"
@@ -261,6 +297,7 @@ let main =
       baseline_cmd;
       leave_cmd;
       recovery_cmd;
+      fault_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

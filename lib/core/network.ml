@@ -3,6 +3,25 @@ module Table = Ntcu_table.Table
 module Engine = Ntcu_sim.Engine
 module Latency = Ntcu_sim.Latency
 
+type reliability = {
+  rto : float;
+  backoff : float;
+  jitter : float;
+  max_retries : int;
+  seed : int;
+}
+
+let default_reliability = { rto = 10.; backoff = 2.; jitter = 0.5; max_retries = 8; seed = 7 }
+
+(* An unacked copy of a protocol message, keyed by its sequence number. *)
+type pending = {
+  p_src : Id.t;
+  p_dst : Id.t;
+  p_msg : Message.t;
+  mutable attempt : int;
+  mutable timer : Engine.handle option;
+}
+
 type t = {
   params : Ntcu_id.Params.t;
   node_config : Node.config;
@@ -19,9 +38,20 @@ type t = {
   mutable dropped : int;
   loss : (float * Ntcu_std.Rng.t) option;
   mutable lost : int;
+  (* Ack/retransmit transport (None = the paper's reliable-delivery
+     assumption is modeled by simply not losing messages). *)
+  rel : (reliability * Ntcu_std.Rng.t) option;
+  mutable next_seq : int;
+  pending : (int, pending) Hashtbl.t;
+  seen : (int, unit) Hashtbl.t; (* receiver-side duplicate suppression *)
+  suspected : unit Id.Tbl.t;
+  mutable suspicion_handler : (reporter:Id.t -> suspect:Id.t -> unit) option;
+  mutable acks_sent : int;
+  mutable acks_lost : int;
 }
 
-let create ?latency ?(size_mode = Message.Full) ?(record_trace = false) ?loss params =
+let create ?latency ?(size_mode = Message.Full) ?(record_trace = false) ?loss ?reliability
+    params =
   let latency = match latency with Some l -> l | None -> Latency.constant 1.0 in
   let loss =
     match loss with
@@ -30,6 +60,16 @@ let create ?latency ?(size_mode = Message.Full) ?(record_trace = false) ?loss pa
     | Some (probability, seed) ->
       if probability >= 1. then invalid_arg "Network.create: loss probability must be < 1";
       Some (probability, Ntcu_std.Rng.create seed)
+  in
+  let rel =
+    match reliability with
+    | None -> None
+    | Some r ->
+      if r.rto <= 0. then invalid_arg "Network.create: rto must be positive";
+      if r.backoff < 1. then invalid_arg "Network.create: backoff must be >= 1";
+      if r.jitter < 0. then invalid_arg "Network.create: jitter must be >= 0";
+      if r.max_retries < 0 then invalid_arg "Network.create: max_retries must be >= 0";
+      Some (r, Ntcu_std.Rng.create r.seed)
   in
   {
     params;
@@ -47,11 +87,24 @@ let create ?latency ?(size_mode = Message.Full) ?(record_trace = false) ?loss pa
     dropped = 0;
     loss;
     lost = 0;
+    rel;
+    next_seq = 0;
+    pending = Hashtbl.create 256;
+    seen = Hashtbl.create 4096;
+    suspected = Id.Tbl.create 16;
+    suspicion_handler = None;
+    acks_sent = 0;
+    acks_lost = 0;
   }
 
 let params t = t.params
 let engine t = t.engine
 let trace t = t.trace
+let reliable t = t.rel <> None
+
+let set_suspicion_handler t f = t.suspicion_handler <- Some f
+
+let is_suspected t id = Id.Tbl.mem t.suspected id
 
 let register t node =
   let id = Node.id node in
@@ -71,22 +124,120 @@ let node_exn t id =
 
 let host t id = Id.Tbl.find t.host_of id
 
+let is_failed t id = Id.Tbl.mem t.failed id
+
+let draw_loss t =
+  match t.loss with
+  | Some (probability, rng) -> Ntcu_std.Rng.float rng 1.0 < probability
+  | None -> false
+
+let delay_between t ~src ~dst =
+  let delay = Latency.sample t.latency ~src:(host t src) ~dst:(host t dst) in
+  if delay <= 0. then 1e-6 else delay
+
 let rec send t ~src ~dst msg =
   if Id.equal src dst then
     invalid_arg (Fmt.str "Network.send: %a sending %a to itself" Id.pp src Message.pp msg);
   Stats.record_sent (Node.stats (node_exn t src)) t.params msg;
   Stats.record_sent t.global t.params msg;
-  let in_transit_loss =
-    match t.loss with
-    | Some (probability, rng) -> Ntcu_std.Rng.float rng 1.0 < probability
-    | None -> false
+  match t.rel with
+  | None ->
+    if draw_loss t then t.lost <- t.lost + 1
+    else
+      Engine.schedule t.engine ~delay:(delay_between t ~src ~dst) (fun () ->
+          deliver t ~src ~dst msg)
+  | Some _ ->
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    let p = { p_src = src; p_dst = dst; p_msg = msg; attempt = 0; timer = None } in
+    Hashtbl.replace t.pending seq p;
+    transmit t seq p
+
+(* Put one copy of pending message [seq] on the wire and arm its
+   retransmission timer. *)
+and transmit t seq p =
+  let r, rng = match t.rel with Some x -> x | None -> assert false in
+  if draw_loss t then t.lost <- t.lost + 1
+  else
+    Engine.schedule t.engine ~delay:(delay_between t ~src:p.p_src ~dst:p.p_dst) (fun () ->
+        deliver_reliable t seq p);
+  let timeout =
+    r.rto
+    *. (r.backoff ** float_of_int p.attempt)
+    *. (1. +. (r.jitter *. Ntcu_std.Rng.float rng 1.0))
   in
-  if in_transit_loss then t.lost <- t.lost + 1
-  else begin
-    let delay = Latency.sample t.latency ~src:(host t src) ~dst:(host t dst) in
-    let delay = if delay <= 0. then 1e-6 else delay in
-    Engine.schedule t.engine ~delay (fun () -> deliver t ~src ~dst msg)
-  end
+  p.timer <- Some (Engine.schedule_cancellable t.engine ~delay:timeout (fun () ->
+      on_timeout t seq))
+
+and deliver_reliable t seq p =
+  match Id.Tbl.find_opt t.nodes p.p_dst with
+  | None -> t.dropped <- t.dropped + 1 (* departed: no ack, the timer will fire *)
+  | Some _ when Id.Tbl.mem t.failed p.p_dst -> t.dropped <- t.dropped + 1
+  | Some receiver ->
+    (* Ack first (a transport frame, not a Message.t — it carries only the
+       sequence number and is never itself acked), then deliver unless this
+       copy is a duplicate of one already processed. *)
+    t.acks_sent <- t.acks_sent + 1;
+    if draw_loss t then t.acks_lost <- t.acks_lost + 1
+    else
+      Engine.schedule t.engine ~delay:(delay_between t ~src:p.p_dst ~dst:p.p_src)
+        (fun () -> on_ack t seq);
+    if Hashtbl.mem t.seen seq then begin
+      Stats.record_duplicate (Node.stats receiver);
+      Stats.record_duplicate t.global
+    end
+    else begin
+      Hashtbl.replace t.seen seq ();
+      deliver_live t ~src:p.p_src ~dst:p.p_dst receiver p.p_msg
+    end
+
+and on_ack t seq =
+  match Hashtbl.find_opt t.pending seq with
+  | None -> () (* already acked *)
+  | Some p ->
+    (match p.timer with Some h -> Engine.cancel t.engine h | None -> ());
+    Hashtbl.remove t.pending seq
+
+and on_timeout t seq =
+  match Hashtbl.find_opt t.pending seq with
+  | None -> () (* acked after this timer was armed but before it fired *)
+  | Some p ->
+    let r, _ = match t.rel with Some x -> x | None -> assert false in
+    (match node t p.p_src with
+    | Some sender when not (is_failed t p.p_src) ->
+      Stats.record_timeout (Node.stats sender);
+      Stats.record_timeout t.global;
+      if p.attempt < r.max_retries then begin
+        p.attempt <- p.attempt + 1;
+        Stats.record_retransmission (Node.stats sender);
+        Stats.record_retransmission t.global;
+        transmit t seq p
+      end
+      else begin
+        (* Retry budget exhausted: give up on this copy and suspect the
+           peer. The network-level hook (Online_repair) disseminates the
+           suspicion FIRST so it can observe every table — including the
+           reporter's — before any scrub empties the suspect's entries (it
+           refills the holes it saw). The reporter's own failover then runs
+           with [failed] to re-route the abandoned message. *)
+        Hashtbl.remove t.pending seq;
+        Stats.record_failover (Node.stats sender);
+        Stats.record_failover t.global;
+        let first_report = not (Id.Tbl.mem t.suspected p.p_dst) in
+        Id.Tbl.replace t.suspected p.p_dst ();
+        (if first_report then
+           match t.suspicion_handler with
+           | Some f -> f ~reporter:p.p_src ~suspect:p.p_dst
+           | None -> ());
+        let actions =
+          Node.on_suspect sender ~now:(Engine.now t.engine) ~peer:p.p_dst
+            ~failed:(Some p.p_msg)
+        in
+        List.iter (fun { Node.dst = d; msg = m } -> send t ~src:p.p_src ~dst:d m) actions
+      end
+    | Some _ | None ->
+      (* The sender itself crashed or departed; nobody is waiting. *)
+      Hashtbl.remove t.pending seq)
 
 and deliver t ~src ~dst msg =
   match Id.Tbl.find_opt t.nodes dst with
@@ -107,6 +258,9 @@ and deliver_live t ~src ~dst receiver msg =
   | None -> ());
   let actions = Node.handle receiver ~now:(Engine.now t.engine) ~src msg in
   List.iter (fun { Node.dst = d; msg = m } -> send t ~src:dst ~dst:d m) actions
+
+let inject t ~src actions =
+  List.iter (fun { Node.dst = d; msg = m } -> send t ~src ~dst:d m) actions
 
 let add_seed_node t id = register t (Node.create_seed t.node_config id)
 
@@ -185,11 +339,12 @@ let fail t id =
     invalid_arg (Fmt.str "Network.fail: %a already failed" Id.pp id);
   Id.Tbl.replace t.failed id ()
 
-let is_failed t id = Id.Tbl.mem t.failed id
-
 let messages_dropped t = t.dropped
 
 let messages_lost t = t.lost
+
+let acks_sent t = t.acks_sent
+let acks_lost t = t.acks_lost
 
 let size t = Id.Tbl.length t.nodes
 let mem t id = Id.Tbl.mem t.nodes id

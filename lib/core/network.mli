@@ -7,11 +7,26 @@
 
 type t
 
+type reliability = {
+  rto : float;  (** initial retransmission timeout (virtual time) *)
+  backoff : float;  (** multiplier applied per retry; >= 1 *)
+  jitter : float;  (** timeout is scaled by [1 + jitter * u], [u ~ U(0,1)] *)
+  max_retries : int;  (** retransmissions before the peer is suspected *)
+  seed : int;  (** seed for the jitter RNG *)
+}
+
+val default_reliability : reliability
+(** [rto = 10.] (10x the default round trip), doubling backoff, 50% jitter,
+    8 retries. At 5% loss the probability that a live peer exhausts the
+    budget is [(1 - 0.95^2)^9 < 1e-9], so suspicion is effectively crash
+    detection. *)
+
 val create :
   ?latency:Ntcu_sim.Latency.t ->
   ?size_mode:Message.size_mode ->
   ?record_trace:bool ->
   ?loss:float * int ->
+  ?reliability:reliability ->
   Ntcu_id.Params.t ->
   t
 (** Default latency: constant 1.0 ms. Default size mode: [Full].
@@ -19,7 +34,15 @@ val create :
     [loss] is [(probability, seed)]: each message is independently dropped in
     transit with the given probability — deliberately violating the paper's
     reliable-delivery assumption (iii) so its necessity can be measured
-    (joins then wedge short of [in_system]). Default: no loss. *)
+    (joins then wedge short of [in_system]). Default: no loss.
+
+    [reliability] enables the ack/retransmit transport: every protocol
+    message is sequence-numbered; the receiver acks each copy (acks are
+    transport frames, themselves subject to [loss] but never retransmitted)
+    and suppresses duplicates; the sender retransmits with exponential
+    backoff until acked, and after [max_retries] unanswered copies suspects
+    the peer ({!Node.on_suspect} + the {!set_suspicion_handler} hook).
+    Default: messages are fire-and-forget as in the paper. *)
 
 val params : t -> Ntcu_id.Params.t
 val engine : t -> Ntcu_sim.Engine.t
@@ -73,7 +96,32 @@ val messages_dropped : t -> int
 (** Deliveries to failed or removed nodes. *)
 
 val messages_lost : t -> int
-(** Messages dropped in transit by the loss model. *)
+(** Protocol-message copies (first sends and retransmissions alike) dropped
+    in transit by the loss model. Lost acks are counted by {!acks_lost}
+    instead, so this stays comparable with the unreliable transport. *)
+
+(** {1 Reliability} *)
+
+val reliable : t -> bool
+(** Whether the ack/retransmit transport is enabled. *)
+
+val inject : t -> src:Ntcu_id.Id.t -> Node.action list -> unit
+(** Send protocol messages on behalf of [src], exactly as if its [handle]
+    had returned them. Used by extensions (online repair, leave protocol) to
+    participate in the network without bypassing stats, loss, or the
+    reliable transport. *)
+
+val set_suspicion_handler :
+  t -> (reporter:Ntcu_id.Id.t -> suspect:Ntcu_id.Id.t -> unit) -> unit
+(** Called once per newly-suspected peer, after the reporting sender's own
+    {!Node.on_suspect} failover actions have been sent. The online-repair
+    extension registers here to disseminate the suspicion. *)
+
+val is_suspected : t -> Ntcu_id.Id.t -> bool
+(** Whether any sender has exhausted its retry budget against this peer. *)
+
+val acks_sent : t -> int
+val acks_lost : t -> int
 
 val stuck_joiners : t -> Node.t list
 (** Joiners that never reached [in_system] (possible only when an assumption

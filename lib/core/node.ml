@@ -29,6 +29,8 @@ type t = {
   mutable q_j : Id.t list; (* deferred JoinWaitMsg senders, FIFO *)
   mutable q_sr : Id.Set.t; (* SpeNoti subjects whose reply we await *)
   mutable q_sn : Id.Set.t; (* SpeNoti subjects already handled *)
+  mutable suspects : Id.Set.t; (* peers presumed crashed (retry budget spent) *)
+  mutable spe_pending : (Id.t * Id.t) list; (* (first-hop target, subject) *)
   (* Copying-phase cursor (Figure 5's i, p, g). *)
   mutable copy_level : int;
   mutable copy_from : Id.t option; (* the node whose table we are copying *)
@@ -50,6 +52,8 @@ let make config id ~joiner ~status =
     q_j = [];
     q_sr = Id.Set.empty;
     q_sn = Id.Set.empty;
+    suspects = Id.Set.empty;
+    spe_pending = [];
     copy_level = 0;
     copy_from = None;
     t_begin = None;
@@ -73,6 +77,8 @@ let t_begin t = t.t_begin
 let t_end t = t.t_end
 let pending_replies t = Id.Set.cardinal t.q_r + Id.Set.cardinal t.q_sr
 let queued_join_waits t = List.length t.q_j
+let suspects t = t.suspects
+let is_suspect t u = Id.Set.mem u t.suspects
 
 let digit_of _t other level = Id.digit other level
 
@@ -193,7 +199,9 @@ let maybe_switch t ~now acts =
 let check_ngh_table t snapshot acts =
   let acts = ref acts in
   Snapshot.iter snapshot (fun (c : Snapshot.cell) ->
-      if not (Id.equal c.node t.id) then begin
+      (* Skip suspects: stale snapshots keep circulating after a crash, and
+         re-adding a dead node would just restart the suspicion cycle. *)
+      if not (Id.equal c.node t.id) && not (Id.Set.mem c.node t.suspects) then begin
         let u = c.node in
         let k = csuf t u in
         let j = digit_of t u k in
@@ -210,6 +218,42 @@ let check_ngh_table t snapshot acts =
         end
       end);
   !acts
+
+(* Best alternative contact: the known node (primary or backup) sharing the
+   longest common suffix with us, excluding self and suspects. Ties broken by
+   Id.compare for determinism. *)
+let pick_candidate t =
+  let better cur cand =
+    match cur with
+    | None -> Some cand
+    | Some best ->
+      let cb = csuf t best and cc = csuf t cand in
+      if cc > cb || (cc = cb && Id.compare cand best < 0) then Some cand else Some best
+  in
+  let consider acc u =
+    if Id.equal u t.id || Id.Set.mem u t.suspects then acc else better acc u
+  in
+  let acc =
+    Table.fold t.table ~init:None ~f:(fun acc ~level:_ ~digit:_ u _ -> consider acc u)
+  in
+  let p = t.config.params in
+  let acc = ref acc in
+  for level = 0 to p.d - 1 do
+    for digit = 0 to p.b - 1 do
+      List.iter (fun u -> acc := consider !acc u) (Table.backups t.table ~level ~digit)
+    done
+  done;
+  !acc
+
+(* The node we were waiting on is gone: ask the best remaining contact to
+   store us instead. *)
+let rewait t acts =
+  match pick_candidate t with
+  | Some target ->
+    t.q_n <- Id.Set.add target t.q_n;
+    t.q_r <- Id.Set.add target t.q_r;
+    { dst = target; msg = Message.Join_wait } :: acts
+  | None -> acts
 
 (* ---- Action in status copying (Figure 5) ---- *)
 
@@ -237,24 +281,36 @@ let finish_copying t ~join_wait_target acts =
   { dst = join_wait_target; msg = Message.Join_wait } :: acts
 
 let on_cp_rly t ~src snapshot =
-  assert (t.status = Copying);
-  assert (match t.copy_from with Some g -> Id.equal g src | None -> false);
-  let level = t.copy_level in
-  (* Copy level-i neighbors of g into level-i of our table. *)
-  let acts = ref [] in
-  Snapshot.iter snapshot (fun (c : Snapshot.cell) ->
-      if c.level = level && not (Id.equal c.node t.id) then
-        acts := set_entry t ~level ~digit:c.digit c.node c.state !acts);
-  (* g' = Np(i, x[i]); continue while it exists and is an S-node. *)
-  let own_digit = Id.digit t.id level in
-  match Snapshot.find snapshot ~level ~digit:own_digit with
-  | Some { node = next; state = S; _ } when not (Id.equal next t.id) ->
-    t.copy_level <- level + 1;
-    t.copy_from <- Some next;
-    { dst = next; msg = Message.Cp_rst { level = level + 1 } } :: !acts
-  | Some { node = next; state = T; _ } when not (Id.equal next t.id) ->
-    finish_copying t ~join_wait_target:next !acts
-  | Some _ | None -> finish_copying t ~join_wait_target:src !acts
+  if
+    t.status <> Copying
+    || (match t.copy_from with Some g -> not (Id.equal g src) | None -> true)
+  then
+    (* Stale: we suspected the sender and failed over to another copy source
+       before this (possibly retransmitted) reply got through. *)
+    []
+  else begin
+    let level = t.copy_level in
+    (* Copy level-i neighbors of g into level-i of our table. *)
+    let acts = ref [] in
+    Snapshot.iter snapshot (fun (c : Snapshot.cell) ->
+        if
+          c.level = level
+          && (not (Id.equal c.node t.id))
+          && not (Id.Set.mem c.node t.suspects)
+        then acts := set_entry t ~level ~digit:c.digit c.node c.state !acts);
+    (* g' = Np(i, x[i]); continue while it exists and is an S-node. *)
+    let own_digit = Id.digit t.id level in
+    match Snapshot.find snapshot ~level ~digit:own_digit with
+    | Some { node = next; _ } when Id.Set.mem next t.suspects ->
+      finish_copying t ~join_wait_target:src !acts
+    | Some { node = next; state = S; _ } when not (Id.equal next t.id) ->
+      t.copy_level <- level + 1;
+      t.copy_from <- Some next;
+      { dst = next; msg = Message.Cp_rst { level = level + 1 } } :: !acts
+    | Some { node = next; state = T; _ } when not (Id.equal next t.id) ->
+      finish_copying t ~join_wait_target:next !acts
+    | Some _ | None -> finish_copying t ~join_wait_target:src !acts
+  end
 
 (* ---- Action on receiving JoinWaitMsg (Figure 6) ---- *)
 
@@ -295,7 +351,12 @@ let on_join_wait_rly t ~now ~src sign occupant snapshot =
   | Some n when Id.equal n src -> Table.set_state t.table ~level:k ~digit:(digit_of t src k) S
   | Some _ | None -> ());
   let acts =
-    match sign with
+    if t.status <> Waiting then
+      (* Stale: a failover already moved us past the waiting phase; keep the
+         table upkeep above but do not re-enter it. *)
+      []
+    else
+      match sign with
     | Message.Positive ->
       t.status <- Notifying;
       t.noti_level <- k;
@@ -310,6 +371,10 @@ let on_join_wait_rly t ~now ~src sign occupant snapshot =
           t.noti_level <- k;
           []
         end
+      else if Id.Set.mem occupant t.suspects then
+        (* The replier named an occupant we already suspect is dead (it has
+           not learned yet); fail over to a live contact directly. *)
+        rewait t []
       else begin
         t.q_n <- Id.Set.add occupant t.q_n;
         t.q_r <- Id.Set.add occupant t.q_r;
@@ -358,6 +423,7 @@ let on_join_noti_rly t ~now ~src sign snapshot flag =
       | Some occupant when not (Id.equal occupant src) ->
         t.q_sn <- Id.Set.add src t.q_sn;
         t.q_sr <- Id.Set.add src t.q_sr;
+        t.spe_pending <- (occupant, src) :: t.spe_pending;
         [ { dst = occupant; msg = Message.Spe_noti { origin = t.id; subject = src } } ]
       | Some _ | None -> []
     end
@@ -369,21 +435,32 @@ let on_join_noti_rly t ~now ~src sign snapshot flag =
 (* ---- Action on receiving SpeNotiMsg (Figure 11) ---- *)
 
 let on_spe_noti t origin subject =
-  let k = Id.csuf_len subject t.id in
-  let j = Id.digit subject k in
-  let acts =
-    if Table.neighbor t.table ~level:k ~digit:j = None then
-      set_entry t ~level:k ~digit:j subject S []
-    else []
-  in
-  match Table.neighbor t.table ~level:k ~digit:j with
-  | Some n when not (Id.equal n subject) ->
-    { dst = n; msg = Message.Spe_noti { origin; subject } } :: acts
-  | Some _ | None ->
-    { dst = origin; msg = Message.Spe_noti_rly { origin; subject } } :: acts
+  if Id.Set.mem subject t.suspects then
+    (* The subject crashed: do not store it, just let the origin's wait
+       drain. *)
+    if Id.equal origin t.id then begin
+      t.q_sr <- Id.Set.remove subject t.q_sr;
+      []
+    end
+    else [ { dst = origin; msg = Message.Spe_noti_rly { origin; subject } } ]
+  else begin
+    let k = Id.csuf_len subject t.id in
+    let j = Id.digit subject k in
+    let acts =
+      if Table.neighbor t.table ~level:k ~digit:j = None then
+        set_entry t ~level:k ~digit:j subject S []
+      else []
+    in
+    match Table.neighbor t.table ~level:k ~digit:j with
+    | Some n when not (Id.equal n subject) ->
+      { dst = n; msg = Message.Spe_noti { origin; subject } } :: acts
+    | Some _ | None ->
+      { dst = origin; msg = Message.Spe_noti_rly { origin; subject } } :: acts
+  end
 
 let on_spe_noti_rly t ~now subject =
   t.q_sr <- Id.Set.remove subject t.q_sr;
+  t.spe_pending <- List.filter (fun (_, s) -> not (Id.equal s subject)) t.spe_pending;
   maybe_switch t ~now []
 
 (* ---- Action on receiving InSysNotiMsg (Figure 14) ---- *)
@@ -410,6 +487,100 @@ let on_rv_ngh_noti_rly t ~src ~level ~digit state =
   | Some n when Id.equal n src -> Table.set_state t.table ~level ~digit state
   | Some _ | None -> ());
   []
+
+(* ---- Failure suspicion (the transport's retry budget was exhausted) ---- *)
+
+(* Remove every trace of [peer] from local state, promoting backups into the
+   holes it leaves behind. *)
+let scrub_peer t peer acts =
+  Table.remove_backup t.table peer;
+  Table.remove_reverse t.table peer;
+  let holes =
+    Table.fold t.table ~init:[] ~f:(fun acc ~level ~digit n _ ->
+        if Id.equal n peer then (level, digit) :: acc else acc)
+  in
+  let acts =
+    List.fold_left
+      (fun acc (level, digit) ->
+        Table.clear t.table ~level ~digit;
+        match Table.promote_backup t.table ~level ~digit with
+        | Some promoted when not (Id.equal promoted t.id) ->
+          (* Register with the promoted node as any other write would. *)
+          { dst = promoted; msg = Message.Rv_ngh_noti { level; digit; recorded = S } }
+          :: acc
+        | Some _ | None -> acc)
+      acts holes
+  in
+  t.q_r <- Id.Set.remove peer t.q_r;
+  t.q_n <- Id.Set.remove peer t.q_n;
+  t.q_sr <- Id.Set.remove peer t.q_sr;
+  t.q_sn <- Id.Set.remove peer t.q_sn;
+  t.q_j <- List.filter (fun u -> not (Id.equal u peer)) t.q_j;
+  t.spe_pending <- List.filter (fun (_, s) -> not (Id.equal s peer)) t.spe_pending;
+  acts
+
+(* Re-route SpeNotiMsgs whose first hop was [peer]: the entry it occupied has
+   just been scrubbed, so either a promoted backup takes the message or the
+   hole is ours to fill with the subject directly. *)
+let respe t peer acts =
+  let stale, keep = List.partition (fun (tgt, _) -> Id.equal tgt peer) t.spe_pending in
+  t.spe_pending <- keep;
+  List.fold_left
+    (fun acc (_, subject) ->
+      let k = Id.csuf_len subject t.id in
+      let j = Id.digit subject k in
+      match Table.neighbor t.table ~level:k ~digit:j with
+      | Some occupant when not (Id.equal occupant subject) ->
+        t.spe_pending <- (occupant, subject) :: t.spe_pending;
+        { dst = occupant; msg = Message.Spe_noti { origin = t.id; subject } } :: acc
+      | Some _ ->
+        (* The subject itself now holds the entry; nothing left to tell. *)
+        t.q_sr <- Id.Set.remove subject t.q_sr;
+        acc
+      | None ->
+        t.q_sr <- Id.Set.remove subject t.q_sr;
+        set_entry t ~level:k ~digit:j subject S acc)
+    acts stale
+
+(* The node we were copying from died: resume the copy walk at another known
+   node, re-copying from the longest level its suffix supports. *)
+let recopy t peer acts =
+  match t.copy_from with
+  | Some g when Id.equal g peer -> (
+    match pick_candidate t with
+    | Some next ->
+      let level = min t.copy_level (csuf t next) in
+      t.copy_level <- level;
+      t.copy_from <- Some next;
+      { dst = next; msg = Message.Cp_rst { level } } :: acts
+    | None ->
+      (* No live contact known — with the gateway gone before any reply, the
+         paper's assumption (ii) is genuinely unsatisfiable. *)
+      acts)
+  | Some _ | None -> acts
+
+let on_suspect t ~now ~peer ~failed =
+  let first = not (Id.Set.mem peer t.suspects) in
+  let waiting_on = Id.Set.mem peer t.q_r in
+  t.suspects <- Id.Set.add peer t.suspects;
+  let acts = if first then respe t peer (scrub_peer t peer []) else [] in
+  let acts =
+    if first then
+      match t.status with
+      | Copying -> recopy t peer acts
+      | Waiting when waiting_on -> rewait t acts
+      | Waiting | Notifying | In_system -> acts
+    else acts
+  in
+  (* A SpeNotiMsg we were forwarding on behalf of another node must still
+     reach a holder of the subject's suffix (or be answered ourselves). *)
+  let acts =
+    match failed with
+    | Some (Message.Spe_noti { origin; subject }) when not (Id.equal origin t.id) ->
+      on_spe_noti t origin subject @ acts
+    | Some _ | None -> acts
+  in
+  maybe_switch t ~now acts
 
 let handle t ~now ~src msg =
   match msg with

@@ -60,3 +60,25 @@ val begin_join : t -> now:float -> gateway:Ntcu_id.Id.t -> action list
 
 val handle : t -> now:float -> src:Ntcu_id.Id.t -> Message.t -> action list
 (** Process one delivered message. *)
+
+(** {1 Failure suspicion}
+
+    The paper assumes no failures during joins (assumption (iv)). The
+    reliable transport reports a peer as suspect once its retry budget is
+    exhausted; the node then scrubs the peer from its table (promoting
+    backups into the holes), queues, and reverse sets, and — if the suspect
+    was load-bearing for its own join — fails over: a [Copying] node resumes
+    the copy walk at its best remaining contact, a [Waiting] node re-sends
+    [JoinWaitMsg] to one, and a [Notifying] node re-routes in-flight
+    [SpeNotiMsg]s. Suspects are remembered so stale snapshots cannot
+    re-introduce them. *)
+
+val on_suspect :
+  t -> now:float -> peer:Ntcu_id.Id.t -> failed:Message.t option -> action list
+(** [on_suspect t ~now ~peer ~failed] reports [peer] as crashed. [failed] is
+    the message whose delivery gave up, if the report comes from the
+    transport ([None] when relayed by the online-repair dissemination).
+    Idempotent per peer apart from per-message re-drives. *)
+
+val is_suspect : t -> Ntcu_id.Id.t -> bool
+val suspects : t -> Ntcu_id.Id.Set.t

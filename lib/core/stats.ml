@@ -3,6 +3,13 @@ type t = {
   received : int array;
   mutable bytes_sent : int;
   mutable bytes_received : int;
+  (* Reliability-layer counters. [sent]/[received] count protocol messages
+     once each (first sends), so the Theorem 3-5 quantities are unaffected by
+     retransmission; the transport's extra work is tallied separately. *)
+  mutable retransmissions : int;
+  mutable timeouts_fired : int;
+  mutable failovers : int;
+  mutable duplicates_suppressed : int;
 }
 
 let create () =
@@ -11,6 +18,10 @@ let create () =
     received = Array.make Message.kind_count 0;
     bytes_sent = 0;
     bytes_received = 0;
+    retransmissions = 0;
+    timeouts_fired = 0;
+    failovers = 0;
+    duplicates_suppressed = 0;
   }
 
 let record_sent t p m =
@@ -23,12 +34,25 @@ let record_received t p m =
   t.received.(i) <- t.received.(i) + 1;
   t.bytes_received <- t.bytes_received + Message.size_bytes p m
 
+let record_retransmission t = t.retransmissions <- t.retransmissions + 1
+let record_timeout t = t.timeouts_fired <- t.timeouts_fired + 1
+let record_failover t = t.failovers <- t.failovers + 1
+let record_duplicate t = t.duplicates_suppressed <- t.duplicates_suppressed + 1
+
 let sent t k = t.sent.(Message.kind_index k)
 let received t k = t.received.(Message.kind_index k)
 let total_sent t = Array.fold_left ( + ) 0 t.sent
 let total_received t = Array.fold_left ( + ) 0 t.received
 let bytes_sent t = t.bytes_sent
 let bytes_received t = t.bytes_received
+
+let retransmissions t = t.retransmissions
+let timeouts_fired t = t.timeouts_fired
+let failovers t = t.failovers
+let duplicates_suppressed t = t.duplicates_suppressed
+
+let first_sends t = total_sent t
+let total_sends t = total_sent t + t.retransmissions
 
 let copy_and_wait_sent t = sent t Message.K_cp_rst + sent t Message.K_join_wait
 
@@ -40,6 +64,10 @@ let add a b =
     received = Array.map2 ( + ) a.received b.received;
     bytes_sent = a.bytes_sent + b.bytes_sent;
     bytes_received = a.bytes_received + b.bytes_received;
+    retransmissions = a.retransmissions + b.retransmissions;
+    timeouts_fired = a.timeouts_fired + b.timeouts_fired;
+    failovers = a.failovers + b.failovers;
+    duplicates_suppressed = a.duplicates_suppressed + b.duplicates_suppressed;
   }
 
 let all_kinds =
@@ -63,4 +91,12 @@ let pp ppf t =
       let s = sent t k and r = received t k in
       if s > 0 || r > 0 then Fmt.pf ppf "%-16s sent=%-6d recv=%-6d@." (Message.kind_name k) s r)
     all_kinds;
-  Fmt.pf ppf "bytes: sent=%d recv=%d@." t.bytes_sent t.bytes_received
+  Fmt.pf ppf "bytes: sent=%d recv=%d@." t.bytes_sent t.bytes_received;
+  if t.retransmissions > 0 || t.timeouts_fired > 0 || t.failovers > 0
+     || t.duplicates_suppressed > 0
+  then
+    Fmt.pf ppf
+      "reliability: %d first sends, %d total sends (%d retransmissions), %d timeouts, %d \
+       failovers, %d duplicates suppressed@."
+      (first_sends t) (total_sends t) t.retransmissions t.timeouts_fired t.failovers
+      t.duplicates_suppressed

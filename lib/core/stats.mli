@@ -11,6 +11,30 @@ val create : unit -> t
 val record_sent : t -> Ntcu_id.Params.t -> Message.t -> unit
 val record_received : t -> Ntcu_id.Params.t -> Message.t -> unit
 
+(** {1 Reliability-layer counters}
+
+    The reliable transport (ack/retransmit in {!Network}) records its extra
+    work here. [record_sent] is called once per protocol message — the first
+    send — so the per-kind counts and byte totals feeding the Theorem 3–5
+    comparisons are unchanged by retransmission. *)
+
+val record_retransmission : t -> unit
+val record_timeout : t -> unit
+val record_failover : t -> unit
+val record_duplicate : t -> unit
+
+val retransmissions : t -> int
+val timeouts_fired : t -> int
+val failovers : t -> int
+val duplicates_suppressed : t -> int
+
+val first_sends : t -> int
+(** Protocol messages sent once each — equals {!total_sent}. *)
+
+val total_sends : t -> int
+(** [first_sends + retransmissions]: every copy the transport put on the
+    wire. *)
+
 val sent : t -> Message.kind -> int
 val received : t -> Message.kind -> int
 val total_sent : t -> int

@@ -4,6 +4,7 @@ module Network = Ntcu_core.Network
 module Node = Ntcu_core.Node
 module Stats = Ntcu_core.Stats
 module Rng = Ntcu_std.Rng
+module Engine = Ntcu_sim.Engine
 
 type join_run = {
   net : Network.t;
@@ -140,6 +141,130 @@ let cdf_points counts =
 let fig15a_series ~b ~d ~m ~ns =
   let p = Params.make ~b ~d in
   List.map (fun n -> (n, Ntcu_analysis.Join_cost.theorem5_bound p ~n ~m)) ns
+
+type fault_run = {
+  run : join_run;
+  crashed : Id.t list;
+  stuck : int;
+  retransmissions : int;
+  timeouts : int;
+  failovers : int;
+  duplicates : int;
+  lost : int;
+  acks_lost : int;
+  repair : Ntcu_extensions.Online_repair.report option;
+}
+
+let fault_injection ?latency ?size_mode ?(record_trace = false) ?(reliable = true)
+    ?reliability ?(loss = 0.02) ?(crash_fraction = 0.) ?(crash_at = 150.) p ~seed ~n ~m ()
+    =
+  let t0 = Sys.time () in
+  let rng, seeds, joiners = make_population p ~seed ~n ~m ~suffix:[||] in
+  let latency = match latency with Some l -> l | None -> default_latency (seed + 1) in
+  let reliability =
+    if not reliable then None
+    else
+      Some
+        (match reliability with
+        | Some r -> r
+        | None ->
+          (* The default latency draws up to 100 ms per hop, so the initial
+             timeout must clear a full round trip. *)
+          { Network.default_reliability with rto = 250.; seed = seed + 4 })
+  in
+  let net =
+    Network.create ~latency ?size_mode ~record_trace ~loss:(loss, seed + 3) ?reliability p
+  in
+  let repair =
+    if reliable then Some (Ntcu_extensions.Online_repair.attach net) else None
+  in
+  Network.seed_consistent net ~seed:(seed + 2) seeds;
+  let gateways = Array.of_list seeds in
+  let used_gateways = ref Id.Set.empty in
+  List.iter
+    (fun id ->
+      let gw = Rng.pick rng gateways in
+      used_gateways := Id.Set.add gw !used_gateways;
+      Network.start_join net ~at:0. ~id ~gateway:gw ())
+    joiners;
+  (* Crash victims are drawn from the seeds no joiner uses as gateway: a dead
+     gateway before the first reply leaves the joiner with no live contact at
+     all, which even a perfect protocol cannot survive (assumption (ii)). *)
+  let crashed =
+    if crash_fraction <= 0. then []
+    else begin
+      let candidates =
+        Array.of_list (List.filter (fun id -> not (Id.Set.mem id !used_gateways)) seeds)
+      in
+      let crash_rng = Rng.create (seed + 5) in
+      Rng.shuffle crash_rng candidates;
+      let count = max 1 (int_of_float (crash_fraction *. float_of_int n)) in
+      let count = min count (Array.length candidates) in
+      let victims = Array.to_list (Array.sub candidates 0 count) in
+      Engine.schedule_at (Network.engine net) ~time:crash_at (fun () ->
+          List.iter (fun id -> Network.fail net id) victims);
+      victims
+    end
+  in
+  Network.run net;
+  (* Eventual failure detection. Suspicion is traffic-driven, so a victim
+     that no protocol message happened to target after the crash is never
+     noticed and its pre-crash table entries survive as dangling references.
+     Stand in for the periodic liveness probes a deployment would run: any
+     crashed node still referenced by a live table gets one probe through the
+     reliable transport, whose retry budget then drives the normal
+     suspicion -> scrub -> online-repair path. Iterate because a repair
+     refill can itself name a not-yet-detected victim. *)
+  let module Table = Ntcu_table.Table in
+  let probe_round () =
+    List.fold_left
+      (fun progress victim ->
+        if Network.is_suspected net victim then progress
+        else begin
+          let reference =
+            List.fold_left
+              (fun acc holder ->
+                if acc <> None || Id.equal holder victim then acc
+                else
+                  let table = Node.table (Network.node_exn net holder) in
+                  Table.fold table ~init:None ~f:(fun acc ~level ~digit n state ->
+                      if acc = None && Id.equal n victim then
+                        Some (holder, level, digit, state)
+                      else acc))
+              None (Network.live_ids net)
+          in
+          match reference with
+          | None -> progress (* unreferenced: nothing dangles, nothing to do *)
+          | Some (holder, level, digit, state) ->
+            Network.inject net ~src:holder
+              [
+                {
+                  Node.dst = victim;
+                  msg = Ntcu_core.Message.Rv_ngh_noti { level; digit; recorded = state };
+                };
+              ];
+            true
+        end)
+      false crashed
+  in
+  if reliable then
+    while probe_round () do
+      Network.run net
+    done;
+  let run = finish ~t0 net seeds joiners in
+  let g = Network.global_stats net in
+  {
+    run;
+    crashed;
+    stuck = List.length (Network.stuck_joiners net);
+    retransmissions = Stats.retransmissions g;
+    timeouts = Stats.timeouts_fired g;
+    failovers = Stats.failovers g;
+    duplicates = Stats.duplicates_suppressed g;
+    lost = Network.messages_lost net;
+    acks_lost = Network.acks_lost net;
+    repair = Option.map Ntcu_extensions.Online_repair.report repair;
+  }
 
 type baseline_result = {
   base_consistent : bool;

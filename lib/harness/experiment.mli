@@ -84,6 +84,51 @@ val fig15a_series :
   b:int -> d:int -> m:int -> ns:int list -> (int * float) list
 (** [(n, bound)] points for one curve. *)
 
+(** {1 Fault injection}
+
+    The paper assumes reliable delivery (iii) and no failures during joins
+    (iv). This driver violates both — every message is subject to the loss
+    model, and a fraction of non-gateway seed nodes fail-stop mid-join — and
+    measures whether the reliability layer (ack/retransmit transport +
+    failure suspicion + online repair) restores the Theorem 2 outcome. *)
+
+type fault_run = {
+  run : join_run;
+  crashed : Ntcu_id.Id.t list;  (** The fail-stopped nodes. *)
+  stuck : int;  (** Joiners short of [in_system] at quiescence. *)
+  retransmissions : int;
+  timeouts : int;
+  failovers : int;
+  duplicates : int;  (** Duplicate copies suppressed at receivers. *)
+  lost : int;  (** Protocol-message copies lost in transit. *)
+  acks_lost : int;
+  repair : Ntcu_extensions.Online_repair.report option;
+      (** [None] when [reliable] was [false]. *)
+}
+
+val fault_injection :
+  ?latency:Ntcu_sim.Latency.t ->
+  ?size_mode:Ntcu_core.Message.size_mode ->
+  ?record_trace:bool ->
+  ?reliable:bool ->
+  ?reliability:Ntcu_core.Network.reliability ->
+  ?loss:float ->
+  ?crash_fraction:float ->
+  ?crash_at:float ->
+  Ntcu_id.Params.t ->
+  seed:int ->
+  n:int ->
+  m:int ->
+  unit ->
+  fault_run
+(** Like {!concurrent_joins} (all joins at time 0, random gateways), but with
+    [loss] (default 2%) applied to every message and, when
+    [crash_fraction > 0], [max 1 (crash_fraction * n)] seed nodes that no
+    joiner uses as gateway fail-stopping at time [crash_at] (default 150).
+    [reliable] (default [true]) enables the ack/retransmit transport and
+    attaches {!Ntcu_extensions.Online_repair}; with [reliable:false] the run
+    reproduces the undefended wedge. Deterministic in [seed]. *)
+
 (** {1 Baseline comparison} *)
 
 type baseline_result = {

@@ -32,6 +32,20 @@ let pp_join_run ppf (run : Experiment.join_run) =
     (snd (Ntcu_std.Stats.min_max cw))
     (d + 1)
 
+let pp_fault_run ppf (f : Experiment.fault_run) =
+  let g = Ntcu_core.Network.global_stats f.run.net in
+  Fmt.pf ppf
+    "%a  crashed %d, stuck %d; transport: %d first sends, %d total sends, %d lost, %d \
+     ack losses, %d retransmissions, %d timeouts, %d failovers, %d duplicates \
+     suppressed@."
+    pp_join_run f.run (List.length f.crashed) f.stuck
+    (Ntcu_core.Stats.first_sends g)
+    (Ntcu_core.Stats.total_sends g)
+    f.lost f.acks_lost f.retransmissions f.timeouts f.failovers f.duplicates;
+  match f.repair with
+  | Some r -> Fmt.pf ppf "online repair: %a@." Ntcu_extensions.Online_repair.pp_report r
+  | None -> ()
+
 let pp_fig15a_curve ~label ppf points =
   Fmt.pf ppf "# %s@." label;
   List.iter (fun (n, bound) -> Fmt.pf ppf "%8d  %.3f@." n bound) points

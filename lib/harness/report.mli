@@ -3,6 +3,9 @@
 val pp_join_run : Experiment.join_run Fmt.t
 (** One-paragraph summary: size, liveness, consistency, message stats. *)
 
+val pp_fault_run : Experiment.fault_run Fmt.t
+(** {!pp_join_run} plus crash/transport/online-repair counters. *)
+
 val pp_fig15a_curve :
   label:string -> (int * float) list Fmt.t
 (** A Figure 15(a) data series, one "[n] [bound]" row per point. *)

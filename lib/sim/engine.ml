@@ -18,6 +18,18 @@ let schedule t ~delay f =
   if delay < 0. then invalid_arg "Engine.schedule: negative delay";
   schedule_at t ~time:(t.clock +. delay) f
 
+type handle = { mutable cancelled : bool }
+
+let schedule_cancellable t ~delay f =
+  if delay < 0. then invalid_arg "Engine.schedule_cancellable: negative delay";
+  let h = { cancelled = false } in
+  schedule_at t ~time:(t.clock +. delay) (fun () -> if not h.cancelled then f ());
+  h
+
+let cancel _t h = h.cancelled <- true
+
+let cancelled h = h.cancelled
+
 let pending t = Ntcu_std.Pqueue.length t.queue
 
 let events_processed t = t.processed

@@ -20,8 +20,25 @@ val schedule_at : t -> time:float -> (unit -> unit) -> unit
 (** [schedule_at t ~time f] runs [f] at absolute time [time].
     @raise Invalid_argument if [time] is in the past. *)
 
+type handle
+(** A cancellable timer (used by the retransmission layer). *)
+
+val schedule_cancellable : t -> delay:float -> (unit -> unit) -> handle
+(** Like {!schedule}, but the event can be revoked with {!cancel}. Deletion
+    is lazy: a cancelled event keeps its slot in the queue (so it still counts
+    towards {!pending} and, when its time comes, is popped as a no-op) —
+    cancellation therefore never perturbs the firing order of other events,
+    which preserves deterministic replay.
+    @raise Invalid_argument if [delay < 0.]. *)
+
+val cancel : t -> handle -> unit
+(** Revoke a timer. Idempotent; a no-op if the event already fired. *)
+
+val cancelled : handle -> bool
+
 val pending : t -> int
-(** Number of events not yet fired. *)
+(** Number of events not yet fired (including lazily-cancelled timers that
+    have not yet been popped). *)
 
 val events_processed : t -> int
 

@@ -75,6 +75,72 @@ let counts_events () =
   Engine.run e;
   check Alcotest.int "processed" 10 (Engine.events_processed e)
 
+let cancel_prevents_firing () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  Engine.schedule e ~delay:1. (fun () -> fired := "a" :: !fired);
+  let h = Engine.schedule_cancellable e ~delay:2. (fun () -> fired := "x" :: !fired) in
+  Engine.schedule e ~delay:3. (fun () -> fired := "b" :: !fired);
+  check Alcotest.bool "not yet cancelled" false (Engine.cancelled h);
+  Engine.cancel e h;
+  check Alcotest.bool "cancelled" true (Engine.cancelled h);
+  (* Lazy deletion: the event keeps its queue slot... *)
+  check Alcotest.int "still pending" 3 (Engine.pending e);
+  Engine.run e;
+  (* ...and pops as a no-op, still counted as processed. *)
+  check Alcotest.(list string) "only live events" [ "a"; "b" ] (List.rev !fired);
+  check Alcotest.int "popped" 3 (Engine.events_processed e)
+
+let cancel_after_fire_is_noop () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let h = Engine.schedule_cancellable e ~delay:1. (fun () -> incr count) in
+  Engine.run e;
+  check Alcotest.int "fired once" 1 !count;
+  Engine.cancel e h;
+  Engine.cancel e h;
+  check Alcotest.bool "marked" true (Engine.cancelled h);
+  Engine.run e;
+  check Alcotest.int "never refires" 1 !count
+
+let cancellable_rejects_negative_delay () =
+  let e = Engine.create () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule_cancellable: negative delay") (fun () ->
+      ignore (Engine.schedule_cancellable e ~delay:(-1.) (fun () -> ())))
+
+(* Cancellation must not perturb the firing order of the surviving events:
+   two engines with the same schedule — one holding a cancelled timer between
+   ties — observe identical order and timestamps. *)
+let cancellation_preserves_determinism () =
+  let run ~with_cancelled =
+    let e = Engine.create () in
+    let log = ref [] in
+    let note tag () = log := (Engine.now e, tag) :: !log in
+    Engine.schedule e ~delay:1. (note "a1");
+    (if with_cancelled then
+       let h = Engine.schedule_cancellable e ~delay:1. (note "dead") in
+       Engine.cancel e h);
+    Engine.schedule e ~delay:1. (note "a2");
+    Engine.schedule e ~delay:2. (note "b");
+    (* Cancel mid-run too: a timer revoked from inside an earlier event. *)
+    let h2 = ref None in
+    Engine.schedule e ~delay:1.5 (fun () ->
+        match !h2 with Some h -> Engine.cancel e h | None -> ());
+    h2 := Some (Engine.schedule_cancellable e ~delay:1.75 (note "dead2"));
+    Engine.run e;
+    List.rev !log
+  in
+  let plain = run ~with_cancelled:false in
+  let with_cancelled = run ~with_cancelled:true in
+  check
+    Alcotest.(list (pair (float 1e-9) string))
+    "same observable run" plain with_cancelled;
+  (* And the run is reproducible wholesale. *)
+  check
+    Alcotest.(list (pair (float 1e-9) string))
+    "replay identical" with_cancelled (run ~with_cancelled:true)
+
 let latency_constant () =
   let l = Latency.constant 2.5 in
   check (Alcotest.float 1e-9) "constant" 2.5 (Latency.sample l ~src:0 ~dst:1)
@@ -124,6 +190,11 @@ let suites =
         Alcotest.test_case "run_until" `Quick run_until_partial;
         Alcotest.test_case "livelock guard" `Quick livelock_guard;
         Alcotest.test_case "event counting" `Quick counts_events;
+        Alcotest.test_case "cancel prevents firing" `Quick cancel_prevents_firing;
+        Alcotest.test_case "cancel after fire" `Quick cancel_after_fire_is_noop;
+        Alcotest.test_case "cancel rejects negative" `Quick
+          cancellable_rejects_negative_delay;
+        Alcotest.test_case "cancel determinism" `Quick cancellation_preserves_determinism;
       ] );
     ( "sim.latency",
       [

@@ -122,6 +122,22 @@ let repair_find_live_tiers () =
   | Repair.Not_found _ -> ()
   | other -> Alcotest.failf "exclusion ignored: %a" Repair.pp_outcome other
 
+let repair_requires_quiescence () =
+  let run = build ~seed:20 ~n:10 ~m:5 in
+  (* A scheduled join leaves events pending: the offline repair pass reads
+     and rewrites every table, so running it mid-flight would race with
+     in-transit messages. *)
+  Network.start_join run.net ~id:(Id.of_string p "333333") ~gateway:(List.hd run.seeds) ();
+  check Alcotest.bool "not quiescent" false (Network.is_quiescent run.net);
+  (try
+     ignore (Recovery.repair run.net);
+     Alcotest.fail "repair accepted a busy network"
+   with Invalid_argument _ -> ());
+  (* Draining the network makes the same call legal again. *)
+  Network.run run.net;
+  ignore (Recovery.repair run.net);
+  check Alcotest.int "consistent" 0 (List.length (survivors_consistent run.net))
+
 (* --- message-level leave protocol --- *)
 
 let leave_protocol_single () =
@@ -200,6 +216,7 @@ let suites =
         Alcotest.test_case "idempotent" `Quick repair_is_idempotent;
         Alcotest.test_case "join after recovery" `Quick join_after_recovery;
         Alcotest.test_case "find_live tiers" `Quick repair_find_live_tiers;
+        Alcotest.test_case "requires quiescence" `Quick repair_requires_quiescence;
       ] );
     ( "extensions.leave_protocol",
       [

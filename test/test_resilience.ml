@@ -138,6 +138,77 @@ let recovery_uses_backups () =
   check Alcotest.int "consistent" 0
     (List.length (Ntcu_table.Check.violations (Network.tables run.net)))
 
+(* ---- reliability layer: ack/retransmit, suspicion, online repair ---- *)
+
+let p6 = Params.make ~b:4 ~d:6
+
+(* Seed-swept property: with the transport on, lossy joins still reach the
+   Theorem-2 outcome; with it off, the same loss model wedges them (guarding
+   against silently weakening the loss model). *)
+let retransmit_survives_loss () =
+  List.iter
+    (fun loss ->
+      List.iter
+        (fun seed ->
+          let f =
+            Experiment.fault_injection ~loss ~crash_fraction:0. p6 ~seed ~n:40 ~m:20 ()
+          in
+          if not (f.run.all_in_system && f.run.violations = [] && f.stuck = 0) then
+            Alcotest.failf "loss %.2f seed %d: %d stuck, %d violations" loss seed f.stuck
+              (List.length f.run.violations);
+          check Alcotest.bool "losses actually drawn" true (f.lost > 0);
+          check Alcotest.bool "retransmissions covered them" true
+            (f.retransmissions >= f.lost))
+        [ 1; 2; 3; 4; 5 ])
+    [ 0.01; 0.05 ]
+
+let no_retransmit_reproduces_wedge () =
+  let stuck =
+    List.fold_left
+      (fun acc seed ->
+        let f =
+          Experiment.fault_injection ~reliable:false ~loss:0.05 ~crash_fraction:0. p6
+            ~seed ~n:40 ~m:20 ()
+        in
+        acc + f.stuck)
+      0 [ 1; 2; 3; 4; 5 ]
+  in
+  check Alcotest.bool "wedge reproduced without the transport" true (stuck > 0)
+
+(* End-to-end acceptance: concurrent joins under loss AND a mid-join
+   fail-stop crash of a non-gateway node still all reach in_system with a
+   consistent surviving network, across seeds. *)
+let crash_mid_join_recovers () =
+  List.iter
+    (fun seed ->
+      let f =
+        Experiment.fault_injection ~loss:0.02 ~crash_fraction:0.01 p6 ~seed ~n:60 ~m:8 ()
+      in
+      check Alcotest.int (Printf.sprintf "seed %d: one crash" seed) 1
+        (List.length f.crashed);
+      if not f.run.all_in_system then Alcotest.failf "seed %d: %d stuck" seed f.stuck;
+      (match f.run.violations with
+      | [] -> ()
+      | v :: _ -> Alcotest.failf "seed %d: %a" seed Ntcu_table.Check.pp_violation v);
+      check Alcotest.int "no stuck joiners" 0 f.stuck;
+      check Alcotest.bool "repair engaged" true
+        (match f.repair with Some r -> r.suspicions > 0 | None -> false))
+    [ 1; 2; 3; 4; 5 ]
+
+(* Identical seed => identical trace: timers, retransmits, suspicion and
+   online repair must not perturb deterministic replay. *)
+let fault_runs_are_deterministic () =
+  let go () =
+    Experiment.fault_injection ~record_trace:true ~loss:0.02 ~crash_fraction:0.01 p6
+      ~seed:7 ~n:40 ~m:8 ()
+  in
+  let a = go () and b = go () in
+  match (Network.trace a.run.net, Network.trace b.run.net) with
+  | Some ta, Some tb ->
+    check Alcotest.bool "trace nonempty" true (Ntcu_sim.Trace.length ta > 0);
+    check Alcotest.bool "identical trace" true (Ntcu_sim.Trace.equal ta tb)
+  | _ -> Alcotest.fail "trace missing"
+
 let suites =
   [
     ( "resilience",
@@ -150,5 +221,9 @@ let suites =
         Alcotest.test_case "resilient routing" `Quick resilient_route_beats_plain;
         Alcotest.test_case "dead destination" `Quick resilient_route_dead_destination;
         Alcotest.test_case "recovery promotes backups" `Quick recovery_uses_backups;
+        Alcotest.test_case "retransmit survives loss" `Quick retransmit_survives_loss;
+        Alcotest.test_case "no retransmit wedges" `Quick no_retransmit_reproduces_wedge;
+        Alcotest.test_case "crash mid-join recovers" `Quick crash_mid_join_recovers;
+        Alcotest.test_case "fault determinism" `Quick fault_runs_are_deterministic;
       ] );
   ]
