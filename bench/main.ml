@@ -12,7 +12,10 @@
 
    Sections: fig15a fig15b avg-vs-bound theorem3 theorem4 baseline msgsize
              census latency-ablation optimize churn assumption resilience fault
-             micro *)
+             perf micro
+
+   The perf section writes BENCH_perf.json (see EXPERIMENTS.md for the
+   schema) in the current directory. *)
 
 module Id = Ntcu_id.Id
 module Params = Ntcu_id.Params
@@ -501,6 +504,99 @@ let fault ~smoke () =
   in
   pf "detail (2%% loss + crash): %a" Report.pp_fault_run detail
 
+(* ---- Performance regression bench: fig15b-style runs, timed ---- *)
+
+(* Times the simulation hot path (event queue, shortest-path latencies,
+   codec-backed size accounting) on fig15b-style workloads and writes the
+   measurements to BENCH_perf.json so CI can archive them and a reviewer can
+   diff runs. Wall time is the regression signal; events/sec normalizes it
+   across scales; top_heap_words and the Dijkstra cache counters explain
+   regressions (allocation blow-up vs cache thrash). *)
+let perf ~full ~smoke () =
+  section "Performance: fig15b-style runs (writes BENCH_perf.json)";
+  let scale, routers, setups =
+    if smoke then
+      ("smoke", Ntcu_topology.Transit_stub.default_config, [ { Experiment.d = 8; n = 150; m = 50 } ])
+    else if full then ("full", Ntcu_topology.Transit_stub.paper_config, Experiment.paper_setups)
+    else
+      ( "default",
+        Ntcu_topology.Transit_stub.scaled_config,
+        [ { Experiment.d = 8; n = 3096; m = 1000 }; { Experiment.d = 40; n = 3096; m = 1000 } ] )
+  in
+  pf "scale: %s, %d routers@." scale (Ntcu_topology.Transit_stub.router_count routers);
+  let module J = Report.Json in
+  let run_one i (setup : Experiment.fig15b_setup) =
+    let t0 = Unix.gettimeofday () in
+    let run, hosts = Experiment.fig15b_instrumented ~routers ~seed:(100 + i) setup in
+    let wall = Unix.gettimeofday () -. t0 in
+    let gc = Gc.quick_stat () in
+    let dist = Ntcu_topology.Endhosts.distances hosts in
+    let ds = Ntcu_topology.Distances.stats dist in
+    let events_per_s = float_of_int run.events /. wall in
+    let row =
+      [
+        Printf.sprintf "n=%d m=%d d=%d" setup.n setup.m setup.d;
+        Printf.sprintf "%.2f" wall;
+        string_of_int run.events;
+        Printf.sprintf "%.0f" events_per_s;
+        string_of_int gc.top_heap_words;
+        Printf.sprintf "%.4f" (Ntcu_topology.Distances.hit_rate dist);
+        (if Experiment.consistent run && run.all_in_system then "yes" else "NO");
+      ]
+    in
+    let json =
+      J.Obj
+        [
+          ("d", J.Int setup.d);
+          ("n", J.Int setup.n);
+          ("m", J.Int setup.m);
+          ("seed", J.Int (100 + i));
+          ("wall_s", J.Float wall);
+          ("cpu_s", J.Float run.elapsed_cpu);
+          ("events", J.Int run.events);
+          ("events_per_s", J.Float events_per_s);
+          ("top_heap_words", J.Int gc.top_heap_words);
+          ("minor_collections", J.Int gc.minor_collections);
+          ("major_collections", J.Int gc.major_collections);
+          ( "dijkstra",
+            J.Obj
+              [
+                ("queries", J.Int ds.queries);
+                ("settled_hits", J.Int ds.settled_hits);
+                ("state_hits", J.Int ds.state_hits);
+                ("state_misses", J.Int ds.state_misses);
+                ("evictions", J.Int ds.evictions);
+                ("pops", J.Int ds.pops);
+                ("hit_rate", J.Float (Ntcu_topology.Distances.hit_rate dist));
+              ] );
+          ("consistent", J.Bool (Experiment.consistent run));
+          ("all_in_system", J.Bool run.all_in_system);
+        ]
+    in
+    (row, json, wall)
+  in
+  let results = List.mapi run_one setups in
+  let rows = List.map (fun (r, _, _) -> r) results in
+  let total_wall = List.fold_left (fun acc (_, _, w) -> acc +. w) 0. results in
+  pf "%a"
+    (Report.table
+       ~header:
+         [ "setup"; "wall s"; "events"; "events/s"; "top heap w"; "dijkstra hit"; "ok" ])
+    rows;
+  pf "total wall: %.2fs@." total_wall;
+  let doc =
+    J.Obj
+      [
+        ("schema", J.String "ntcu-bench-perf/1");
+        ("scale", J.String scale);
+        ("routers", J.Int (Ntcu_topology.Transit_stub.router_count routers));
+        ("total_wall_s", J.Float total_wall);
+        ("runs", J.List (List.map (fun (_, j, _) -> j) results));
+      ]
+  in
+  J.to_file "BENCH_perf.json" doc;
+  pf "wrote BENCH_perf.json@."
+
 (* ---- Bechamel microbenchmarks ---- *)
 
 let micro () =
@@ -585,5 +681,6 @@ let () =
   if want "resilience" then resilience ();
   if want "churn" then churn ();
   if want "fault" then fault ~smoke ();
+  if want "perf" then perf ~full ~smoke ();
   if want "micro" then micro ();
   pf "@.done.@."

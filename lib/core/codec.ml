@@ -11,9 +11,27 @@ let bits_per_digit b =
   let rec go bits cap = if cap >= b then bits else go (bits + 1) (cap * 2) in
   go 1 2
 
-let id_bytes (p : Params.t) = ((p.d * bits_per_digit p.b) + 7) / 8
+(* Everything the codec derives from the namespace parameters, computed once,
+   plus a reusable scratch buffer: a node encoding a stream of messages does
+   not re-derive digit widths per identifier nor allocate a fresh buffer per
+   message. *)
+type context = {
+  p : Params.t;
+  bpd : int; (* bits per digit *)
+  idb : int; (* bytes per packed identifier *)
+  bmb : int; (* bytes per d*b bitmap *)
+  scratch : Buffer.t;
+}
 
-let bitmap_bytes (p : Params.t) = ((p.d * p.b) + 7) / 8
+let context (p : Params.t) =
+  let bpd = bits_per_digit p.b in
+  {
+    p;
+    bpd;
+    idb = ((p.d * bpd) + 7) / 8;
+    bmb = ((p.d * p.b) + 7) / 8;
+    scratch = Buffer.create 256;
+  }
 
 (* ---- writer ---- *)
 
@@ -29,10 +47,10 @@ let u16 (w : writer) v =
   u8 w (v lsr 8)
 
 (* Digits packed LSB-first: digit i occupies bits [i*bpd, (i+1)*bpd). *)
-let put_id (w : writer) (p : Params.t) id =
-  let bpd = bits_per_digit p.b in
+let put_id (w : writer) c id =
+  let bpd = c.bpd in
   let acc = ref 0 and nbits = ref 0 in
-  for i = 0 to p.d - 1 do
+  for i = 0 to c.p.d - 1 do
     acc := !acc lor (Id.digit id i lsl !nbits);
     nbits := !nbits + bpd;
     while !nbits >= 8 do
@@ -48,22 +66,22 @@ let put_state (w : writer) (s : Table.nstate) = u8 w (match s with T -> 0 | S ->
 let put_sign (w : writer) (s : Message.sign) =
   u8 w (match s with Negative -> 0 | Positive -> 1)
 
-let put_snapshot (w : writer) p (snap : Snapshot.t) =
-  put_id w p snap.owner;
+let put_snapshot (w : writer) c (snap : Snapshot.t) =
+  put_id w c snap.owner;
   u16 w (Snapshot.cell_count snap);
-  Snapshot.iter snap (fun c ->
-      u8 w c.level;
-      u8 w c.digit;
-      put_state w c.state;
-      put_id w p c.node)
+  Snapshot.iter snap (fun cell ->
+      u8 w cell.level;
+      u8 w cell.digit;
+      put_state w cell.state;
+      put_id w c cell.node)
 
-let put_bitmap (w : writer) (p : Params.t) positions =
-  let bytes = Bytes.make (bitmap_bytes p) '\000' in
+let put_bitmap (w : writer) c positions =
+  let bytes = Bytes.make c.bmb '\000' in
   List.iter
     (fun (level, digit) ->
-      if level < 0 || level >= p.d || digit < 0 || digit >= p.b then
+      if level < 0 || level >= c.p.d || digit < 0 || digit >= c.p.b then
         invalid_arg "Codec: bitmap position out of range";
-      let bit = (level * p.b) + digit in
+      let bit = (level * c.p.b) + digit in
       let i = bit / 8 and off = bit mod 8 in
       Bytes.set bytes i (Char.chr (Char.code (Bytes.get bytes i) lor (1 lsl off))))
     positions;
@@ -89,13 +107,13 @@ let g16 r =
   let hi = g8 r in
   lo lor (hi lsl 8)
 
-let get_id r (p : Params.t) =
-  let bpd = bits_per_digit p.b in
-  let nbytes = id_bytes p in
+let get_id r c =
+  let bpd = c.bpd in
+  let nbytes = c.idb in
   need r nbytes;
-  let digits = Array.make p.d 0 in
+  let digits = Array.make c.p.d 0 in
   let acc = ref 0 and nbits = ref 0 and consumed = ref 0 in
-  for i = 0 to p.d - 1 do
+  for i = 0 to c.p.d - 1 do
     while !nbits < bpd do
       acc := !acc lor (Char.code r.data.[r.pos + !consumed] lsl !nbits);
       incr consumed;
@@ -106,7 +124,7 @@ let get_id r (p : Params.t) =
     nbits := !nbits - bpd
   done;
   r.pos <- r.pos + nbytes;
-  match Id.make p digits with
+  match Id.make c.p digits with
   | id -> id
   | exception Invalid_argument msg -> malformed "bad identifier: %s" msg
 
@@ -116,28 +134,29 @@ let get_state r : Table.nstate =
 let get_sign r : Message.sign =
   match g8 r with 0 -> Negative | 1 -> Positive | v -> malformed "bad sign byte %d" v
 
-let get_snapshot r (p : Params.t) =
-  let owner = get_id r p in
+let get_snapshot r c =
+  let owner = get_id r c in
   let count = g16 r in
   let cells = ref [] in
   for _ = 1 to count do
     let level = g8 r in
     let digit = g8 r in
     let state = get_state r in
-    let node = get_id r p in
-    if level >= p.d || digit >= p.b then malformed "cell position (%d,%d) out of range" level digit;
+    let node = get_id r c in
+    if level >= c.p.d || digit >= c.p.b then
+      malformed "cell position (%d,%d) out of range" level digit;
     cells := { Snapshot.level; digit; state; node } :: !cells
   done;
   Snapshot.of_cells ~owner (List.rev !cells)
 
-let get_bitmap r (p : Params.t) =
-  let nbytes = bitmap_bytes p in
+let get_bitmap r c =
+  let nbytes = c.bmb in
   need r nbytes;
   let positions = ref [] in
-  for bit = (p.d * p.b) - 1 downto 0 do
+  for bit = (c.p.d * c.p.b) - 1 downto 0 do
     let i = bit / 8 and off = bit mod 8 in
     if Char.code r.data.[r.pos + i] land (1 lsl off) <> 0 then
-      positions := (bit / p.b, bit mod p.b) :: !positions
+      positions := (bit / c.p.b, bit mod c.p.b) :: !positions
   done;
   r.pos <- r.pos + nbytes;
   !positions
@@ -146,36 +165,37 @@ let get_bitmap r (p : Params.t) =
 
 let tag (m : Message.t) = Message.kind_index (Message.kind m)
 
-let encode p (m : Message.t) =
-  let w = Buffer.create 64 in
+let encode_ctx c (m : Message.t) =
+  let w = c.scratch in
+  Buffer.clear w;
   u8 w (tag m);
   (match m with
   | Cp_rst { level } -> u8 w level
-  | Cp_rly { table } -> put_snapshot w p table
+  | Cp_rly { table } -> put_snapshot w c table
   | Join_wait -> ()
   | Join_wait_rly { sign; occupant; table } ->
     put_sign w sign;
-    put_id w p occupant;
-    put_snapshot w p table
+    put_id w c occupant;
+    put_snapshot w c table
   | Join_noti { table; noti_level; filled } ->
     u8 w noti_level;
     (match filled with
     | None -> u8 w 0
     | Some positions ->
       u8 w 1;
-      put_bitmap w p positions);
-    put_snapshot w p table
+      put_bitmap w c positions);
+    put_snapshot w c table
   | Join_noti_rly { sign; table; flag } ->
     put_sign w sign;
     u8 w (if flag then 1 else 0);
-    put_snapshot w p table
+    put_snapshot w c table
   | In_sys_noti -> ()
   | Spe_noti { origin; subject } ->
-    put_id w p origin;
-    put_id w p subject
+    put_id w c origin;
+    put_id w c subject
   | Spe_noti_rly { origin; subject } ->
-    put_id w p origin;
-    put_id w p subject
+    put_id w c origin;
+    put_id w c subject
   | Rv_ngh_noti { level; digit; recorded } ->
     u8 w level;
     u8 w digit;
@@ -186,58 +206,58 @@ let encode p (m : Message.t) =
     put_state w state);
   Buffer.contents w
 
-let decode_exn p data =
+let decode_exn c data =
   let r = { data; pos = 0 } in
   let m : Message.t =
     match g8 r with
     | 0 ->
       let level = g8 r in
-      if level >= p.Params.d then malformed "CpRst level %d out of range" level;
+      if level >= c.p.Params.d then malformed "CpRst level %d out of range" level;
       Cp_rst { level }
-    | 1 -> Cp_rly { table = get_snapshot r p }
+    | 1 -> Cp_rly { table = get_snapshot r c }
     | 2 -> Join_wait
     | 3 ->
       let sign = get_sign r in
-      let occupant = get_id r p in
-      let table = get_snapshot r p in
+      let occupant = get_id r c in
+      let table = get_snapshot r c in
       Join_wait_rly { sign; occupant; table }
     | 4 ->
       let noti_level = g8 r in
-      if noti_level >= p.Params.d then malformed "noti_level %d out of range" noti_level;
+      if noti_level >= c.p.Params.d then malformed "noti_level %d out of range" noti_level;
       let filled =
         match g8 r with
         | 0 -> None
-        | 1 -> Some (get_bitmap r p)
+        | 1 -> Some (get_bitmap r c)
         | v -> malformed "bad bitmap flag %d" v
       in
-      let table = get_snapshot r p in
+      let table = get_snapshot r c in
       Join_noti { table; noti_level; filled }
     | 5 ->
       let sign = get_sign r in
       let flag = match g8 r with 0 -> false | 1 -> true | v -> malformed "bad flag %d" v in
-      let table = get_snapshot r p in
+      let table = get_snapshot r c in
       Join_noti_rly { sign; table; flag }
     | 6 -> In_sys_noti
     | 7 ->
-      let origin = get_id r p in
-      let subject = get_id r p in
+      let origin = get_id r c in
+      let subject = get_id r c in
       Spe_noti { origin; subject }
     | 8 ->
-      let origin = get_id r p in
-      let subject = get_id r p in
+      let origin = get_id r c in
+      let subject = get_id r c in
       Spe_noti_rly { origin; subject }
     | 9 ->
       let level = g8 r in
       let digit = g8 r in
       let recorded = get_state r in
-      if level >= p.Params.d || digit >= p.Params.b then
+      if level >= c.p.Params.d || digit >= c.p.Params.b then
         malformed "RvNghNoti position (%d,%d) out of range" level digit;
       Rv_ngh_noti { level; digit; recorded }
     | 10 ->
       let level = g8 r in
       let digit = g8 r in
       let state = get_state r in
-      if level >= p.Params.d || digit >= p.Params.b then
+      if level >= c.p.Params.d || digit >= c.p.Params.b then
         malformed "RvNghNotiRly position (%d,%d) out of range" level digit;
       Rv_ngh_noti_rly { level; digit; state }
     | t -> malformed "unknown message tag %d" t
@@ -246,24 +266,32 @@ let decode_exn p data =
     malformed "trailing garbage: %d bytes" (String.length data - r.pos);
   m
 
-let decode p data =
-  match decode_exn p data with
+let decode_ctx c data =
+  match decode_exn c data with
   | m -> Ok m
   | exception Malformed msg -> Error msg
 
-let snapshot_size p snap = id_bytes p + 2 + (Snapshot.cell_count snap * (3 + id_bytes p))
+let snapshot_size c snap = c.idb + 2 + (Snapshot.cell_count snap * (3 + c.idb))
 
-let encoded_size p (m : Message.t) =
+let encoded_size_ctx c (m : Message.t) =
   1
   +
   match m with
   | Cp_rst _ -> 1
-  | Cp_rly { table } -> snapshot_size p table
+  | Cp_rly { table } -> snapshot_size c table
   | Join_wait -> 0
-  | Join_wait_rly { table; _ } -> 1 + id_bytes p + snapshot_size p table
+  | Join_wait_rly { table; _ } -> 1 + c.idb + snapshot_size c table
   | Join_noti { table; filled; _ } ->
-    2 + (match filled with None -> 0 | Some _ -> bitmap_bytes p) + snapshot_size p table
-  | Join_noti_rly { table; _ } -> 2 + snapshot_size p table
+    2 + (match filled with None -> 0 | Some _ -> c.bmb) + snapshot_size c table
+  | Join_noti_rly { table; _ } -> 2 + snapshot_size c table
   | In_sys_noti -> 0
-  | Spe_noti _ | Spe_noti_rly _ -> 2 * id_bytes p
+  | Spe_noti _ | Spe_noti_rly _ -> 2 * c.idb
   | Rv_ngh_noti _ | Rv_ngh_noti_rly _ -> 3
+
+(* ---- parameter-keyed convenience wrappers ---- *)
+
+let encode p m = encode_ctx (context p) m
+
+let decode p data = decode_ctx (context p) data
+
+let encoded_size p m = encoded_size_ctx (context p) m

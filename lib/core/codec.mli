@@ -11,7 +11,24 @@
     every field against the parameters and never trusts lengths from the
     wire beyond the buffer. *)
 
+type context
+(** Precomputed encoding parameters (digit width, identifier and bitmap byte
+    counts) plus a reusable scratch buffer. Create one per node (or per
+    stream) and reuse it: {!encode_ctx} then performs a single allocation per
+    message — the result string — instead of re-deriving parameters and
+    growing a fresh buffer each time. Not thread-safe: the scratch buffer is
+    reused across calls. *)
+
+val context : Ntcu_id.Params.t -> context
+
+val encode_ctx : context -> Message.t -> string
+
+val decode_ctx : context -> string -> (Message.t, string) result
+
+val encoded_size_ctx : context -> Message.t -> int
+
 val encode : Ntcu_id.Params.t -> Message.t -> string
+(** [encode p m] is [encode_ctx (context p) m]; convenient for one-off use. *)
 
 val decode : Ntcu_id.Params.t -> string -> (Message.t, string) result
 (** Inverse of {!encode}: [decode p (encode p m)] returns [Ok m'] with [m']

@@ -18,6 +18,7 @@ type pending = {
   p_src : Id.t;
   p_dst : Id.t;
   p_msg : Message.t;
+  p_bytes : int; (* modeled wire size, computed once at first send *)
   mutable attempt : int;
   mutable timer : Engine.handle option;
 }
@@ -133,23 +134,28 @@ let draw_loss t =
 
 let delay_between t ~src ~dst =
   let delay = Latency.sample t.latency ~src:(host t src) ~dst:(host t dst) in
-  if delay <= 0. then 1e-6 else delay
+  if delay <= 0. then Latency.min_delay else delay
 
 let rec send t ~src ~dst msg =
   if Id.equal src dst then
     invalid_arg (Fmt.str "Network.send: %a sending %a to itself" Id.pp src Message.pp msg);
-  Stats.record_sent (Node.stats (node_exn t src)) t.params msg;
-  Stats.record_sent t.global t.params msg;
+  (* The modeled wire size walks the embedded snapshot; compute it once and
+     share it with every counter on the path (sender, receiver, global). *)
+  let bytes = Message.size_bytes t.params msg in
+  Stats.record_sent (Node.stats (node_exn t src)) msg ~bytes;
+  Stats.record_sent t.global msg ~bytes;
   match t.rel with
   | None ->
     if draw_loss t then t.lost <- t.lost + 1
     else
       Engine.schedule t.engine ~delay:(delay_between t ~src ~dst) (fun () ->
-          deliver t ~src ~dst msg)
+          deliver t ~src ~dst ~bytes msg)
   | Some _ ->
     let seq = t.next_seq in
     t.next_seq <- seq + 1;
-    let p = { p_src = src; p_dst = dst; p_msg = msg; attempt = 0; timer = None } in
+    let p =
+      { p_src = src; p_dst = dst; p_msg = msg; p_bytes = bytes; attempt = 0; timer = None }
+    in
     Hashtbl.replace t.pending seq p;
     transmit t seq p
 
@@ -188,7 +194,7 @@ and deliver_reliable t seq p =
     end
     else begin
       Hashtbl.replace t.seen seq ();
-      deliver_live t ~src:p.p_src ~dst:p.p_dst receiver p.p_msg
+      deliver_live t ~src:p.p_src ~dst:p.p_dst ~bytes:p.p_bytes receiver p.p_msg
     end
 
 and on_ack t seq =
@@ -239,18 +245,18 @@ and on_timeout t seq =
       (* The sender itself crashed or departed; nobody is waiting. *)
       Hashtbl.remove t.pending seq)
 
-and deliver t ~src ~dst msg =
+and deliver t ~src ~dst ~bytes msg =
   match Id.Tbl.find_opt t.nodes dst with
   | None ->
     (* Destination departed while the message was in flight. *)
     t.dropped <- t.dropped + 1
   | Some _ when Id.Tbl.mem t.failed dst -> t.dropped <- t.dropped + 1
-  | Some receiver -> deliver_live t ~src ~dst receiver msg
+  | Some receiver -> deliver_live t ~src ~dst ~bytes receiver msg
 
-and deliver_live t ~src ~dst receiver msg =
+and deliver_live t ~src ~dst ~bytes receiver msg =
   t.delivered <- t.delivered + 1;
-  Stats.record_received (Node.stats receiver) t.params msg;
-  Stats.record_received t.global t.params msg;
+  Stats.record_received (Node.stats receiver) msg ~bytes;
+  Stats.record_received t.global msg ~bytes;
   (match t.trace with
   | Some tr ->
     Ntcu_sim.Trace.record tr (Engine.now t.engine)
@@ -283,9 +289,14 @@ let seed_consistent t ~seed ids =
   let rng = Ntcu_std.Rng.create seed in
   List.iter (fun id -> add_seed_node t id) ids;
   let members = suffix_members ids in
+  (* Freeze each member list into an array once: [candidates_of] runs for
+     every (node, level, digit) cell, and re-materializing the big
+     short-suffix lists there dominated seeding time. *)
+  let frozen : (int array, Id.t array) Hashtbl.t = Hashtbl.create (Hashtbl.length members) in
+  Hashtbl.iter (fun suffix l -> Hashtbl.add frozen suffix (Array.of_list !l)) members;
   let candidates_of suffix =
-    match Hashtbl.find_opt members suffix with
-    | Some l -> Array.of_list !l
+    match Hashtbl.find_opt frozen suffix with
+    | Some a -> a
     | None -> [||]
   in
   List.iter

@@ -24,15 +24,15 @@ let create () =
     duplicates_suppressed = 0;
   }
 
-let record_sent t p m =
+let record_sent t m ~bytes =
   let i = Message.kind_index (Message.kind m) in
   t.sent.(i) <- t.sent.(i) + 1;
-  t.bytes_sent <- t.bytes_sent + Message.size_bytes p m
+  t.bytes_sent <- t.bytes_sent + bytes
 
-let record_received t p m =
+let record_received t m ~bytes =
   let i = Message.kind_index (Message.kind m) in
   t.received.(i) <- t.received.(i) + 1;
-  t.bytes_received <- t.bytes_received + Message.size_bytes p m
+  t.bytes_received <- t.bytes_received + bytes
 
 let record_retransmission t = t.retransmissions <- t.retransmissions + 1
 let record_timeout t = t.timeouts_fired <- t.timeouts_fired + 1

@@ -8,8 +8,11 @@ type t
 
 val create : unit -> t
 
-val record_sent : t -> Ntcu_id.Params.t -> Message.t -> unit
-val record_received : t -> Ntcu_id.Params.t -> Message.t -> unit
+val record_sent : t -> Message.t -> bytes:int -> unit
+val record_received : t -> Message.t -> bytes:int -> unit
+(** [bytes] is the modeled wire size ({!Message.size_bytes}); the caller
+    computes it once per message so the delivery hot path does not walk the
+    embedded table snapshot for every counter it feeds. *)
 
 (** {1 Reliability-layer counters}
 

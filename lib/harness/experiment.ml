@@ -107,7 +107,8 @@ let paper_setups =
     { d = 40; n = 7192; m = 1000 };
   ]
 
-let fig15b ?(routers = Ntcu_topology.Transit_stub.scaled_config) ?size_mode ~seed setup =
+let fig15b_instrumented ?(routers = Ntcu_topology.Transit_stub.scaled_config) ?size_mode
+    ?(record_trace = false) ~seed setup =
   let t0 = Sys.time () in
   let p = Params.make ~b:16 ~d:setup.d in
   let rng, seeds, joiners = make_population p ~seed ~n:setup.n ~m:setup.m ~suffix:[||] in
@@ -116,7 +117,7 @@ let fig15b ?(routers = Ntcu_topology.Transit_stub.scaled_config) ?size_mode ~see
     Ntcu_topology.Endhosts.attach ~seed:(seed + 11) topo ~n:(setup.n + setup.m)
   in
   let latency = Ntcu_topology.Endhosts.latency ~seed:(seed + 12) hosts in
-  let net = Network.create ~latency ?size_mode p in
+  let net = Network.create ~latency ?size_mode ~record_trace p in
   (* Hosts are indexed in registration order: seeds first, then joiners. *)
   Network.seed_consistent net ~seed:(seed + 2) seeds;
   let gateways = Array.of_list seeds in
@@ -124,7 +125,10 @@ let fig15b ?(routers = Ntcu_topology.Transit_stub.scaled_config) ?size_mode ~see
     (fun id -> Network.start_join net ~at:0. ~id ~gateway:(Rng.pick rng gateways) ())
     joiners;
   Network.run net;
-  finish ~t0 net seeds joiners
+  (finish ~t0 net seeds joiners, hosts)
+
+let fig15b ?routers ?size_mode ?record_trace ~seed setup =
+  fst (fig15b_instrumented ?routers ?size_mode ?record_trace ~seed setup)
 
 let cdf_points counts =
   let sorted = Array.copy counts in
@@ -141,6 +145,51 @@ let cdf_points counts =
 let fig15a_series ~b ~d ~m ~ns =
   let p = Params.make ~b ~d in
   List.map (fun n -> (n, Ntcu_analysis.Join_cost.theorem5_bound p ~n ~m)) ns
+
+(* Eventual failure detection. Suspicion is traffic-driven, so a victim that
+   no protocol message happened to target after the crash is never noticed
+   and its pre-crash table entries survive as dangling references. Stand in
+   for the periodic liveness probes a deployment would run: any crashed node
+   still referenced by a live table gets one probe through the reliable
+   transport, whose retry budget then drives the normal suspicion -> scrub ->
+   online-repair path. Iterate because a repair refill can itself name a
+   not-yet-detected victim. *)
+let detect_failures net ~crashed =
+  let module Table = Ntcu_table.Table in
+  let probe_round () =
+    List.fold_left
+      (fun progress victim ->
+        if Network.is_suspected net victim then progress
+        else begin
+          let reference =
+            List.fold_left
+              (fun acc holder ->
+                if acc <> None || Id.equal holder victim then acc
+                else
+                  let table = Node.table (Network.node_exn net holder) in
+                  Table.fold table ~init:None ~f:(fun acc ~level ~digit n state ->
+                      if acc = None && Id.equal n victim then
+                        Some (holder, level, digit, state)
+                      else acc))
+              None (Network.live_ids net)
+          in
+          match reference with
+          | None -> progress (* unreferenced: nothing dangles, nothing to do *)
+          | Some (holder, level, digit, state) ->
+            Network.inject net ~src:holder
+              [
+                {
+                  Node.dst = victim;
+                  msg = Ntcu_core.Message.Rv_ngh_noti { level; digit; recorded = state };
+                };
+              ];
+            true
+        end)
+      false crashed
+  in
+  while probe_round () do
+    Network.run net
+  done
 
 type fault_run = {
   run : join_run;
@@ -207,50 +256,7 @@ let fault_injection ?latency ?size_mode ?(record_trace = false) ?(reliable = tru
     end
   in
   Network.run net;
-  (* Eventual failure detection. Suspicion is traffic-driven, so a victim
-     that no protocol message happened to target after the crash is never
-     noticed and its pre-crash table entries survive as dangling references.
-     Stand in for the periodic liveness probes a deployment would run: any
-     crashed node still referenced by a live table gets one probe through the
-     reliable transport, whose retry budget then drives the normal
-     suspicion -> scrub -> online-repair path. Iterate because a repair
-     refill can itself name a not-yet-detected victim. *)
-  let module Table = Ntcu_table.Table in
-  let probe_round () =
-    List.fold_left
-      (fun progress victim ->
-        if Network.is_suspected net victim then progress
-        else begin
-          let reference =
-            List.fold_left
-              (fun acc holder ->
-                if acc <> None || Id.equal holder victim then acc
-                else
-                  let table = Node.table (Network.node_exn net holder) in
-                  Table.fold table ~init:None ~f:(fun acc ~level ~digit n state ->
-                      if acc = None && Id.equal n victim then
-                        Some (holder, level, digit, state)
-                      else acc))
-              None (Network.live_ids net)
-          in
-          match reference with
-          | None -> progress (* unreferenced: nothing dangles, nothing to do *)
-          | Some (holder, level, digit, state) ->
-            Network.inject net ~src:holder
-              [
-                {
-                  Node.dst = victim;
-                  msg = Ntcu_core.Message.Rv_ngh_noti { level; digit; recorded = state };
-                };
-              ];
-            true
-        end)
-      false crashed
-  in
-  if reliable then
-    while probe_round () do
-      Network.run net
-    done;
+  if reliable then detect_failures net ~crashed;
   let run = finish ~t0 net seeds joiners in
   let g = Network.global_stats net in
   {

@@ -68,12 +68,26 @@ val paper_setups : fig15b_setup list
 val fig15b :
   ?routers:Ntcu_topology.Transit_stub.config ->
   ?size_mode:Ntcu_core.Message.size_mode ->
+  ?record_trace:bool ->
   seed:int ->
   fig15b_setup ->
   join_run
 (** Run one Figure 15(b) setup: generate a transit-stub router topology
     (default {!Ntcu_topology.Transit_stub.scaled_config}), attach [n + m]
-    end-hosts, use shortest-path latencies, start all joins at time 0. *)
+    end-hosts, use shortest-path latencies, start all joins at time 0. With
+    [record_trace] (default false) every delivery is recorded; read it back
+    via [Ntcu_core.Network.trace run.net] (golden-trace regression). *)
+
+val fig15b_instrumented :
+  ?routers:Ntcu_topology.Transit_stub.config ->
+  ?size_mode:Ntcu_core.Message.size_mode ->
+  ?record_trace:bool ->
+  seed:int ->
+  fig15b_setup ->
+  join_run * Ntcu_topology.Endhosts.t
+(** Like {!fig15b} but also returns the end-host attachment, whose
+    [Ntcu_topology.Endhosts.distances] exposes the shortest-path cache
+    statistics (hit rate, evictions) for the perf bench. *)
 
 val cdf_points : int array -> (int * float) list
 (** [(value, cumulative fraction <= value)] for each distinct value. *)
@@ -91,6 +105,14 @@ val fig15a_series :
     model, and a fraction of non-gateway seed nodes fail-stop mid-join — and
     measures whether the reliability layer (ack/retransmit transport +
     failure suspicion + online repair) restores the Theorem 2 outcome. *)
+
+val detect_failures : Ntcu_core.Network.t -> crashed:Ntcu_id.Id.t list -> unit
+(** Eventual failure detection, standing in for a deployment's periodic
+    liveness probes: while some crashed node is still referenced by a live
+    table and not yet suspected, send it one probe through the reliable
+    transport and run the network to quiescence — the retry budget drives
+    the usual suspicion -> scrub -> online-repair path. Requires the network
+    to have been created with a reliability config. *)
 
 type fault_run = {
   run : join_run;

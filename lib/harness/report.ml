@@ -54,6 +54,66 @@ let pp_cdf ~label ppf points =
   Fmt.pf ppf "# %s@." label;
   List.iter (fun (v, frac) -> Fmt.pf ppf "%6d  %.4f@." v frac) points
 
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  (* %.17g round-trips every float; JSON has no NaN/infinity, so map those to
+     null rather than emit unparseable output. *)
+  let float_repr f =
+    match Float.classify_float f with
+    | FP_nan | FP_infinite -> "null"
+    | _ ->
+      let s = Printf.sprintf "%.17g" f in
+      if String.contains s '.' || String.contains s 'e' then s else s ^ ".0"
+
+  let rec pp ppf = function
+    | Null -> Fmt.string ppf "null"
+    | Bool b -> Fmt.string ppf (if b then "true" else "false")
+    | Int i -> Fmt.pf ppf "%d" i
+    | Float f -> Fmt.string ppf (float_repr f)
+    | String s -> Fmt.pf ppf "\"%s\"" (escape s)
+    | List items ->
+      Fmt.pf ppf "@[<hv 2>[@,%a@;<0 -2>]@]"
+        (Fmt.list ~sep:(Fmt.any ",@,") pp)
+        items
+    | Obj fields ->
+      Fmt.pf ppf "@[<hv 2>{@,%a@;<0 -2>}@]"
+        (Fmt.list ~sep:(Fmt.any ",@,") (fun ppf (k, v) ->
+             Fmt.pf ppf "@[<h>\"%s\": %a@]" (escape k) pp v))
+        fields
+
+  let to_string t = Fmt.str "%a" pp t
+
+  let to_file path t =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (to_string t ^ "\n"))
+end
+
 let pp_avg_vs_bound ppf rows =
   table
     ~header:[ "setup"; "measured avg J"; "Theorem-5 bound"; "paper avg J" ]

@@ -20,3 +20,22 @@ val pp_avg_vs_bound :
 
 val table : header:string list -> string list list Fmt.t
 (** Aligned plain-text table. *)
+
+(** Minimal JSON emitter for machine-readable bench artifacts
+    ([BENCH_perf.json] and friends). Emission only — the repo never parses
+    JSON — so a hand-rolled printer keeps the dependency set unchanged.
+    Floats are rendered with [%.17g] (lossless round-trip); NaN and
+    infinities become [null]. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  val to_file : string -> t -> unit
+end

@@ -69,7 +69,17 @@ let random_with_suffix rng (p : Params.t) suf =
     suf;
   Array.init p.d (fun i -> if i < k then suf.(i) else Ntcu_std.Rng.int rng p.b)
 
-let equal (x : t) (y : t) = x = y
+(* Monomorphic digit loop with a physical-equality fast path: identifiers are
+   hash-table keys on the message delivery path, where the generic structural
+   comparison shows up in profiles. *)
+let equal (x : t) (y : t) =
+  x == y
+  ||
+  let d = Array.length x in
+  d = Array.length y
+  &&
+  let rec go i = i >= d || (x.(i) = y.(i) && go (i + 1)) in
+  go 0
 
 let compare (x : t) (y : t) =
   (* Most-significant-digit-first order, matching the textual order. *)

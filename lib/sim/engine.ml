@@ -2,9 +2,11 @@ type t = {
   mutable clock : float;
   queue : (unit -> unit) Ntcu_std.Pqueue.t;
   mutable processed : int;
+  mutable cancelled_count : int;
 }
 
-let create () = { clock = 0.; queue = Ntcu_std.Pqueue.create (); processed = 0 }
+let create () =
+  { clock = 0.; queue = Ntcu_std.Pqueue.create (); processed = 0; cancelled_count = 0 }
 
 let now t = t.clock
 
@@ -18,21 +20,30 @@ let schedule t ~delay f =
   if delay < 0. then invalid_arg "Engine.schedule: negative delay";
   schedule_at t ~time:(t.clock +. delay) f
 
-type handle = { mutable cancelled : bool }
+type handle = {
+  ph : (unit -> unit) Ntcu_std.Pqueue.handle;
+  mutable cancelled : bool;
+}
 
 let schedule_cancellable t ~delay f =
   if delay < 0. then invalid_arg "Engine.schedule_cancellable: negative delay";
-  let h = { cancelled = false } in
-  schedule_at t ~time:(t.clock +. delay) (fun () -> if not h.cancelled then f ());
-  h
+  let ph = Ntcu_std.Pqueue.push_handle t.queue (t.clock +. delay) f in
+  { ph; cancelled = false }
 
-let cancel _t h = h.cancelled <- true
+let cancel t h =
+  if not h.cancelled then begin
+    h.cancelled <- true;
+    if Ntcu_std.Pqueue.remove t.queue h.ph then
+      t.cancelled_count <- t.cancelled_count + 1
+  end
 
 let cancelled h = h.cancelled
 
 let pending t = Ntcu_std.Pqueue.length t.queue
 
 let events_processed t = t.processed
+
+let events_cancelled t = t.cancelled_count
 
 let step t =
   match Ntcu_std.Pqueue.pop t.queue with

@@ -25,10 +25,11 @@ type handle
 
 val schedule_cancellable : t -> delay:float -> (unit -> unit) -> handle
 (** Like {!schedule}, but the event can be revoked with {!cancel}. Deletion
-    is lazy: a cancelled event keeps its slot in the queue (so it still counts
-    towards {!pending} and, when its time comes, is popped as a no-op) —
-    cancellation therefore never perturbs the firing order of other events,
-    which preserves deterministic replay.
+    is eager: a cancelled event is removed from the queue immediately (it no
+    longer counts towards {!pending} and is never popped). The queue's
+    tie-break is a total order over scheduling time, so cancellation never
+    perturbs the firing order or timestamps of the surviving events — which
+    preserves deterministic replay.
     @raise Invalid_argument if [delay < 0.]. *)
 
 val cancel : t -> handle -> unit
@@ -37,10 +38,16 @@ val cancel : t -> handle -> unit
 val cancelled : handle -> bool
 
 val pending : t -> int
-(** Number of events not yet fired (including lazily-cancelled timers that
-    have not yet been popped). *)
+(** Number of events not yet fired. Cancelled timers are excluded: a network
+    whose only outstanding events were cancelled is quiescent. *)
 
 val events_processed : t -> int
+(** Number of events fired so far. Cancelled timers never fire and are not
+    counted. *)
+
+val events_cancelled : t -> int
+(** Number of timers that were cancelled while still queued (diagnostics for
+    the retransmission layer). *)
 
 val step : t -> bool
 (** Fire the next event. Returns [false] when the queue is empty. *)

@@ -1,3 +1,5 @@
+let min_delay = 1e-6
+
 type t =
   | Constant of float
   | Uniform of { lo : float; hi : float; rng : Ntcu_std.Rng.t }
@@ -25,5 +27,5 @@ let sample t ~src ~dst =
   | Uniform { lo; hi; rng } -> lo +. Ntcu_std.Rng.float rng (hi -. lo)
   | Distance { distance; jitter; rng } ->
     let base = distance ~src ~dst in
-    let base = if base <= 0. then 1e-6 else base in
+    let base = if base <= 0. then min_delay else base in
     if jitter = 0. then base else base *. (1. +. Ntcu_std.Rng.float rng jitter)

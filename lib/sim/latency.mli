@@ -8,6 +8,13 @@
 
 type t
 
+val min_delay : float
+(** Smallest delay {!sample} will ever return ([1e-6] ms). Distance-based
+    models clamp to it, so two co-located endpoints (distance [0.], no
+    jitter) still exchange messages with strictly positive delay — virtual
+    time always advances and same-host messages keep FIFO order via the
+    engine's tie-break rather than a zero-delay shortcut. *)
+
 val constant : float -> t
 (** Every message takes the same time. The degenerate (most synchronous)
     interleaving. *)

@@ -14,3 +14,20 @@ let equal a b = a.count = b.count && a.events = b.events
 
 let pp ppf t =
   List.iter (fun (time, label) -> Fmt.pf ppf "%12.6f  %s@." time label) (to_list t)
+
+(* %h prints the exact bit pattern of the timestamp (hex float), so two lines
+   are equal iff the events are — byte-identical replay, not rounded. *)
+let to_lines t = List.map (fun (time, label) -> Printf.sprintf "%h %s" time label) (to_list t)
+
+let digest t = Digest.to_hex (Digest.string (String.concat "\n" (to_lines t)))
+
+let first_divergence a b =
+  let rec go i la lb =
+    match (la, lb) with
+    | [], [] -> None
+    | x :: la', y :: lb' ->
+      if String.equal x y then go (i + 1) la' lb' else Some (i, Some x, Some y)
+    | x :: _, [] -> Some (i, Some x, None)
+    | [], y :: _ -> Some (i, None, Some y)
+  in
+  go 0 (to_lines a) (to_lines b)

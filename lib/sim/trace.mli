@@ -17,5 +17,19 @@ val to_list : t -> (float * string) list
 
 val equal : t -> t -> bool
 
+val to_lines : t -> string list
+(** One canonical line per event: the timestamp in [%h] (exact hexadecimal
+    float, no rounding) followed by the label. Two traces have equal lines
+    iff their events are bit-identical. *)
+
+val digest : t -> string
+(** Hex digest over {!to_lines} — a compact fingerprint for golden-trace
+    regression fixtures. *)
+
+val first_divergence : t -> t -> (int * string option * string option) option
+(** [first_divergence a b] is [None] when the traces agree, otherwise the
+    0-based index of the first differing event with the canonical line from
+    each side ([None] where one trace already ended). *)
+
 val pp : t Fmt.t
 (** One event per line. *)

@@ -1,7 +1,20 @@
-(* Array-based binary min-heap. Each element carries a monotonically
-   increasing sequence number so that equal keys pop in insertion order. *)
+(* Array-based 4-ary min-heap with an index back-pointer per entry, so that
+   entries can be removed (timer cancellation) or re-keyed (decrease_key) in
+   O(log n) without lazy-deletion tombstones accumulating in the queue.
 
-type 'a entry = { key : float; seq : int; value : 'a }
+   Each element carries a monotonically increasing sequence number so that
+   equal keys pop in insertion order; the sequence number is a total
+   tie-break, which makes the pop order independent of the heap's internal
+   layout (and hence of its arity and of any removals in between). *)
+
+type 'a entry = {
+  mutable key : float;
+  seq : int;
+  value : 'a;
+  mutable pos : int; (* slot in [heap]; -1 once popped or removed *)
+}
+
+type 'a handle = 'a entry
 
 type 'a t = {
   mutable heap : 'a entry array; (* slots [0, size) are live *)
@@ -26,37 +39,47 @@ let grow q fill =
   Array.blit q.heap 0 nh 0 cap;
   q.heap <- nh
 
+let set q i e =
+  q.heap.(i) <- e;
+  e.pos <- i
+
 let rec sift_up q i =
   if i > 0 then begin
-    let parent = (i - 1) / 2 in
+    let parent = (i - 1) / 4 in
     if less q.heap.(i) q.heap.(parent) then begin
       let tmp = q.heap.(i) in
-      q.heap.(i) <- q.heap.(parent);
-      q.heap.(parent) <- tmp;
+      set q i q.heap.(parent);
+      set q parent tmp;
       sift_up q parent
     end
   end
 
 let rec sift_down q i =
-  let l = (2 * i) + 1 in
-  let r = l + 1 in
-  let smallest = ref i in
-  if l < q.size && less q.heap.(l) q.heap.(!smallest) then smallest := l;
-  if r < q.size && less q.heap.(r) q.heap.(!smallest) then smallest := r;
-  if !smallest <> i then begin
-    let tmp = q.heap.(i) in
-    q.heap.(i) <- q.heap.(!smallest);
-    q.heap.(!smallest) <- tmp;
-    sift_down q !smallest
+  let first = (4 * i) + 1 in
+  if first < q.size then begin
+    let smallest = ref i in
+    let last = min (first + 3) (q.size - 1) in
+    for c = first to last do
+      if less q.heap.(c) q.heap.(!smallest) then smallest := c
+    done;
+    if !smallest <> i then begin
+      let tmp = q.heap.(i) in
+      set q i q.heap.(!smallest);
+      set q !smallest tmp;
+      sift_down q !smallest
+    end
   end
 
-let push q key value =
-  let entry = { key; seq = q.next_seq; value } in
+let push_handle q key value =
+  let entry = { key; seq = q.next_seq; value; pos = q.size } in
   if q.size = Array.length q.heap then grow q entry;
   q.heap.(q.size) <- entry;
   q.next_seq <- q.next_seq + 1;
   q.size <- q.size + 1;
-  sift_up q (q.size - 1)
+  sift_up q (q.size - 1);
+  entry
+
+let push q key value = ignore (push_handle q key value)
 
 let peek q = if q.size = 0 then None else Some (q.heap.(0).key, q.heap.(0).value)
 
@@ -64,15 +87,45 @@ let pop q =
   if q.size = 0 then None
   else begin
     let top = q.heap.(0) in
+    top.pos <- -1;
     q.size <- q.size - 1;
     if q.size > 0 then begin
-      q.heap.(0) <- q.heap.(q.size);
+      set q 0 q.heap.(q.size);
       sift_down q 0
     end;
     Some (top.key, top.value)
   end
 
+let mem _q h = h.pos >= 0
+
+let key h = h.key
+
+let remove q h =
+  let i = h.pos in
+  if i < 0 then false
+  else begin
+    h.pos <- -1;
+    q.size <- q.size - 1;
+    if i < q.size then begin
+      set q i q.heap.(q.size);
+      (* The relocated entry may violate the heap property in either
+         direction relative to its new neighbourhood. *)
+      sift_up q i;
+      sift_down q i
+    end;
+    true
+  end
+
+let decrease_key q h key =
+  if h.pos < 0 then invalid_arg "Pqueue.decrease_key: stale handle";
+  if key > h.key then invalid_arg "Pqueue.decrease_key: key increase";
+  h.key <- key;
+  sift_up q h.pos
+
 let clear q =
+  for i = 0 to q.size - 1 do
+    q.heap.(i).pos <- -1
+  done;
   q.heap <- [||];
   q.size <- 0;
   q.next_seq <- 0

@@ -2,9 +2,22 @@
 
     Used as the event queue of the discrete-event simulator: events scheduled
     at the same virtual time are delivered in scheduling order, which makes
-    simulation runs deterministic. *)
+    simulation runs deterministic. The tie-break is total (every element gets
+    a distinct sequence number), so the pop order is a pure function of the
+    push sequence — it does not depend on the internal heap layout, nor on
+    removals of other elements in between.
+
+    Implemented as an indexed 4-ary heap: {!push_handle} returns a handle
+    through which the element can later be {!remove}d or re-keyed with
+    {!decrease_key} in logarithmic time, with no tombstones left behind. *)
 
 type 'a t
+
+type 'a handle
+(** Names one pushed element. Becomes stale once the element leaves the
+    queue (by {!pop}, {!remove} or {!clear}); operations on a stale handle
+    are safe — {!remove} returns [false], {!mem} returns [false] and
+    {!decrease_key} raises. *)
 
 val create : unit -> 'a t
 
@@ -15,10 +28,31 @@ val is_empty : 'a t -> bool
 val push : 'a t -> float -> 'a -> unit
 (** [push q key v] inserts [v] with priority [key]. *)
 
+val push_handle : 'a t -> float -> 'a -> 'a handle
+(** Like {!push}, but returns a handle for later {!remove}/{!decrease_key}. *)
+
 val pop : 'a t -> (float * 'a) option
 (** Removes and returns the entry with the smallest key; among equal keys, the
     one pushed first. [None] when empty. *)
 
 val peek : 'a t -> (float * 'a) option
+
+val remove : 'a t -> 'a handle -> bool
+(** [remove q h] deletes the element named by [h] from the queue in
+    O(log n). Returns [false] (and does nothing) if the element already left
+    the queue. The relative order of all other elements is unaffected. *)
+
+val mem : 'a t -> 'a handle -> bool
+(** Whether the element named by the handle is still queued. *)
+
+val key : 'a handle -> float
+(** The handle's current key (meaningful while {!mem} holds). *)
+
+val decrease_key : 'a t -> 'a handle -> float -> unit
+(** [decrease_key q h k] lowers the element's key to [k], keeping its
+    original insertion sequence number (so among equal keys it still ranks by
+    original push order).
+    @raise Invalid_argument if the handle is stale or [k] is larger than the
+    current key. *)
 
 val clear : 'a t -> unit

@@ -152,27 +152,31 @@ let all_reverse t = Array.fold_left Id.Set.union Id.Set.empty t.reverse
 module Snapshot = struct
   type cell = { level : int; digit : int; node : Id.t; state : nstate }
 
-  type t = { owner : Id.t; cells : cell list }
+  type t = { owner : Id.t; cells : cell list; count : int }
 
   let of_table_levels table ~lo ~hi =
-    let cells = ref [] in
+    let cells = ref [] and count = ref 0 in
     iter table (fun ~level ~digit node state ->
-        if level >= lo && level <= hi then
-          cells := { level; digit; node; state } :: !cells);
-    { owner = table.owner; cells = List.rev !cells }
+        if level >= lo && level <= hi then begin
+          cells := { level; digit; node; state } :: !cells;
+          incr count
+        end);
+    { owner = table.owner; cells = List.rev !cells; count = !count }
 
   let of_table table = of_table_levels table ~lo:0 ~hi:(table.params.d - 1)
 
-  let of_cells ~owner cells = { owner; cells }
+  let of_cells ~owner cells = { owner; cells; count = List.length cells }
 
-  let cell_count t = List.length t.cells
+  let cell_count t = t.count
 
   let iter t f = List.iter f t.cells
 
   let find t ~level ~digit =
     List.find_opt (fun c -> c.level = level && c.digit = digit) t.cells
 
-  let filter t ~f = { t with cells = List.filter f t.cells }
+  let filter t ~f =
+    let cells = List.filter f t.cells in
+    { t with cells; count = List.length cells }
 end
 
 let pp ppf t =

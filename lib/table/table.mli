@@ -107,8 +107,9 @@ module Snapshot : sig
 
   type cell = { level : int; digit : int; node : Ntcu_id.Id.t; state : nstate }
 
-  type t = private { owner : Ntcu_id.Id.t; cells : cell list }
-  (** [cells] lists the filled entries, by increasing level then digit. *)
+  type t = private { owner : Ntcu_id.Id.t; cells : cell list; count : int }
+  (** [cells] lists the filled entries, by increasing level then digit;
+      [count] caches its length so wire-size accounting is O(1). *)
 
   val of_table : table -> t
 

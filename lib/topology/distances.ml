@@ -1,20 +1,404 @@
-type t = { graph : Graph.t; cache : (int, float array) Hashtbl.t }
+module Pq = Ntcu_std.Pqueue
 
-let create graph = { graph; cache = Hashtbl.create 64 }
+type stats = {
+  queries : int;
+  settled_hits : int;
+  state_hits : int;
+  state_misses : int;
+  evictions : int;
+  pops : int;
+}
 
-let from_source t src =
-  match Hashtbl.find_opt t.cache src with
-  | Some dist -> dist
-  | None ->
-    let dist = Graph.dijkstra t.graph src in
-    Hashtbl.add t.cache src dist;
-    dist
+(* ---- plain mode: per-source resumable Dijkstra frontier ----
+
+   Distances of settled vertices equal the eager [Graph.dijkstra] values
+   exactly (same relaxation arithmetic, merely stopped early), so the lazy
+   computation cannot perturb a simulation by even one ulp. *)
+type frontier = {
+  dist : float array; (* tentative, final once settled *)
+  settled : Bytes.t;
+  queue : int Pq.t;
+  mutable exhausted : bool;
+}
+
+(* ---- clustered mode ----
+
+   Transit-stub geometry, precomputed once: every stub cluster hangs off the
+   transit core by exactly one gateway edge and clusters never touch each
+   other, so a shortest path is [within-source-cluster] -> [core] ->
+   [one gateway edge] -> [within-target-cluster]. Per-source state is then a
+   Dijkstra over (own cluster + core) — a ~100-vertex graph instead of the
+   full router graph — plus per-target-cluster "tails" materialized on
+   demand by continuing the settled core distance through the target's
+   gateway edge. All arrays are indexed by compact per-cluster positions, so
+   a query is array reads, not hashtable probes. *)
+type cgeo = {
+  cluster : int array; (* cluster id per vertex; -1 = core (transit) *)
+  core : int array; (* core slot -> vertex *)
+  core_slot : int array; (* vertex -> core slot, -1 for stub vertices *)
+  local : int array; (* vertex -> index within its cluster, -1 for core *)
+  members : int array array; (* cluster -> vertices *)
+  gw_core_slot : int array; (* cluster -> core slot of its transit router *)
+  gw_stub_local : int array; (* cluster -> local index of its gateway vertex *)
+  gw_weight : float array; (* cluster -> gateway edge weight *)
+  core_adj : (int * float) list array; (* core slot -> core-slot edges *)
+  cadj : (int * float) list array array; (* cluster -> local -> intra edges *)
+}
+
+(* Per-source distances, all exact full-graph values:
+   [base.(k)] for core slot [k]; [base.(ncore + li)] for local index [li] in
+   the source's own cluster; [tails.(c).(li)] for cluster [c] elsewhere. *)
+type cstate = {
+  sc : int; (* source's cluster; -1 if the source is a core vertex *)
+  base : float array;
+  tails : float array option array;
+}
+
+type mode =
+  | Plain of (int, frontier) Hashtbl.t
+  | Clustered of cgeo * (int, cstate) Hashtbl.t
+
+type t = {
+  graph : Graph.t;
+  mode : mode;
+  cache_sources : int;
+  last_use : (int, int) Hashtbl.t; (* source -> LRU stamp *)
+  mutable tick : int;
+  mutable queries : int;
+  mutable settled_hits : int;
+  mutable state_hits : int;
+  mutable state_misses : int;
+  mutable evictions : int;
+  mutable pops : int;
+}
+
+let make_t graph mode cache_sources =
+  if cache_sources < 1 then invalid_arg "Distances: cache_sources must be >= 1";
+  {
+    graph;
+    mode;
+    cache_sources;
+    last_use = Hashtbl.create 64;
+    tick = 0;
+    queries = 0;
+    settled_hits = 0;
+    state_hits = 0;
+    state_misses = 0;
+    evictions = 0;
+    pops = 0;
+  }
+
+let create ?(cache_sources = 1024) graph =
+  make_t graph (Plain (Hashtbl.create 64)) cache_sources
+
+(* Verify the transit-stub invariant — the decomposition is silently wrong
+   without it — and precompute the cluster geometry in the same pass. *)
+let geometry graph cluster =
+  let n = Graph.n_vertices graph in
+  if Array.length cluster <> n then
+    invalid_arg "Distances.create_clustered: cluster array size mismatch";
+  let n_clusters = Array.fold_left (fun acc c -> max acc (c + 1)) 0 cluster in
+  let core = ref [] and ncore = ref 0 in
+  let core_slot = Array.make n (-1) in
+  let local = Array.make n (-1) in
+  let members = Array.make n_clusters [] in
+  let csize = Array.make n_clusters 0 in
+  for v = n - 1 downto 0 do
+    let c = cluster.(v) in
+    if c < 0 then begin
+      core := v :: !core;
+      incr ncore
+    end
+    else members.(c) <- v :: members.(c)
+  done;
+  let core = Array.of_list !core in
+  Array.iteri (fun k v -> core_slot.(v) <- k) core;
+  let members =
+    Array.mapi
+      (fun c vs ->
+        let a = Array.of_list vs in
+        Array.iteri
+          (fun li v ->
+            local.(v) <- li;
+            csize.(c) <- csize.(c) + 1)
+          a;
+        a)
+      members
+  in
+  let gw_core_slot = Array.make n_clusters (-1) in
+  let gw_stub_local = Array.make n_clusters (-1) in
+  let gw_weight = Array.make n_clusters 0. in
+  let core_adj = Array.make !ncore [] in
+  let cadj = Array.map (fun m -> Array.make (Array.length m) []) members in
+  for u = 0 to n - 1 do
+    let cu = cluster.(u) in
+    List.iter
+      (fun (v, w) ->
+        let cv = cluster.(v) in
+        if cu >= 0 && cv >= 0 && cu <> cv then
+          invalid_arg "Distances.create_clustered: edge between distinct clusters";
+        if cu < 0 && cv < 0 then
+          core_adj.(core_slot.(u)) <- (core_slot.(v), w) :: core_adj.(core_slot.(u));
+        if cu >= 0 && cv >= 0 then
+          cadj.(cu).(local.(u)) <- (local.(v), w) :: cadj.(cu).(local.(u));
+        if cu >= 0 && cv < 0 then begin
+          (* Gateway edge, seen once from its stub endpoint. *)
+          if gw_stub_local.(cu) >= 0 then
+            invalid_arg
+              (Printf.sprintf
+                 "Distances.create_clustered: cluster %d has several core links (need 1)"
+                 cu);
+          gw_core_slot.(cu) <- core_slot.(v);
+          gw_stub_local.(cu) <- local.(u);
+          gw_weight.(cu) <- w
+        end)
+      (Graph.neighbors graph u)
+  done;
+  Array.iteri
+    (fun c gw ->
+      if gw < 0 && Array.length members.(c) > 0 then
+        invalid_arg
+          (Printf.sprintf "Distances.create_clustered: cluster %d has no core link" c))
+    gw_stub_local;
+  {
+    cluster;
+    core;
+    core_slot;
+    local;
+    members;
+    gw_core_slot;
+    gw_stub_local;
+    gw_weight;
+    core_adj;
+    cadj;
+  }
+
+let create_clustered ?(cache_sources = 1024) graph ~cluster =
+  make_t graph (Clustered (geometry graph cluster, Hashtbl.create 64)) cache_sources
+
+(* ---- LRU bookkeeping (batched eviction amortizes the stamp scan) ---- *)
+
+let touch t src =
+  t.tick <- t.tick + 1;
+  Hashtbl.replace t.last_use src t.tick
+
+let cached_sources t =
+  match t.mode with
+  | Plain states -> Hashtbl.length states
+  | Clustered (_, states) -> Hashtbl.length states
+
+let drop_source t src =
+  (match t.mode with
+  | Plain states -> Hashtbl.remove states src
+  | Clustered (_, states) -> Hashtbl.remove states src);
+  Hashtbl.remove t.last_use src
+
+let ensure_capacity t =
+  if cached_sources t >= t.cache_sources then begin
+    let entries = Array.make (Hashtbl.length t.last_use) (0, 0) in
+    let i = ref 0 in
+    Hashtbl.iter
+      (fun src stamp ->
+        entries.(!i) <- (stamp, src);
+        incr i)
+      t.last_use;
+    Array.sort compare entries;
+    let k = max 1 (t.cache_sources / 4) in
+    for j = 0 to min k (Array.length entries) - 1 do
+      drop_source t (snd entries.(j));
+      t.evictions <- t.evictions + 1
+    done
+  end
+
+(* ---- plain mode ---- *)
+
+let new_frontier t src =
+  let n = Graph.n_vertices t.graph in
+  let dist = Array.make n infinity in
+  let queue = Pq.create () in
+  dist.(src) <- 0.;
+  Pq.push queue 0. src;
+  { dist; settled = Bytes.make n '\000'; queue; exhausted = false }
+
+let is_settled f v = Bytes.get f.settled v <> '\000'
+
+(* Pop until [dst] is settled (its tentative distance is final) or the
+   frontier is exhausted (remaining vertices unreachable). Resumable: the
+   frontier keeps its heap across calls, so over the life of one source the
+   total work never exceeds a single full Dijkstra run. *)
+let advance_until t f dst =
+  let continue = ref (not (is_settled f dst)) in
+  while !continue do
+    match Pq.pop f.queue with
+    | None ->
+      f.exhausted <- true;
+      continue := false
+    | Some (du, u) ->
+      t.pops <- t.pops + 1;
+      if not (is_settled f u) then begin
+        Bytes.set f.settled u '\001';
+        List.iter
+          (fun (v, w) ->
+            let alt = du +. w in
+            if alt < f.dist.(v) then begin
+              f.dist.(v) <- alt;
+              Pq.push f.queue alt v
+            end)
+          (Graph.neighbors t.graph u);
+        if u = dst then continue := false
+      end
+  done
+
+let plain_distance t states src dst =
+  let f =
+    match Hashtbl.find_opt states src with
+    | Some f ->
+      t.state_hits <- t.state_hits + 1;
+      f
+    | None ->
+      t.state_misses <- t.state_misses + 1;
+      ensure_capacity t;
+      let f = new_frontier t src in
+      Hashtbl.add states src f;
+      f
+  in
+  touch t src;
+  if is_settled f dst || f.exhausted then t.settled_hits <- t.settled_hits + 1
+  else advance_until t f dst;
+  if is_settled f dst then f.dist.(dst) else infinity
+
+(* ---- clustered mode ---- *)
+
+(* Dijkstra over (own cluster + core) in mixed indexing: slots [0, ncore)
+   are the core, [ncore, ncore + |cluster|) the source's cluster. Exact for
+   every vertex in scope: a path detouring through a foreign cluster enters
+   and leaves it by the same single gateway edge, so it is dominated
+   (float [+.] of positive weights is monotone) and dropping it never
+   changes the min. *)
+let build_base t g src =
+  let ncore = Array.length g.core in
+  let sc = g.cluster.(src) in
+  let csize = if sc < 0 then 0 else Array.length g.members.(sc) in
+  let dist = Array.make (ncore + csize) infinity in
+  let queue = Pq.create () in
+  let start = if sc < 0 then g.core_slot.(src) else ncore + g.local.(src) in
+  dist.(start) <- 0.;
+  Pq.push queue 0. start;
+  let relax du v w =
+    let alt = du +. w in
+    if alt < dist.(v) then begin
+      dist.(v) <- alt;
+      Pq.push queue alt v
+    end
+  in
+  let continue = ref true in
+  while !continue do
+    match Pq.pop queue with
+    | None -> continue := false
+    | Some (du, u) ->
+      t.pops <- t.pops + 1;
+      if du <= dist.(u) then
+        if u < ncore then begin
+          List.iter (fun (v, w) -> relax du v w) g.core_adj.(u);
+          if sc >= 0 && u = g.gw_core_slot.(sc) then
+            relax du (ncore + g.gw_stub_local.(sc)) g.gw_weight.(sc)
+        end
+        else begin
+          let li = u - ncore in
+          List.iter (fun (lv, w) -> relax du (ncore + lv) w) g.cadj.(sc).(li);
+          if li = g.gw_stub_local.(sc) then relax du g.gw_core_slot.(sc) g.gw_weight.(sc)
+        end
+  done;
+  { sc; base = dist; tails = Array.make (Array.length g.members) None }
+
+(* Continue the settled core distances into target cluster [tc]: a shortest
+   path enters [tc] only through its single gateway edge, so seeding the
+   gateway vertex with [base(transit router) +. gateway weight] and running
+   Dijkstra within the cluster reproduces the full-graph folds exactly. *)
+let build_tail t g base tc =
+  let csize = Array.length g.members.(tc) in
+  let dist = Array.make csize infinity in
+  let d0 = base.(g.gw_core_slot.(tc)) +. g.gw_weight.(tc) in
+  if d0 < infinity then begin
+    let queue = Pq.create () in
+    dist.(g.gw_stub_local.(tc)) <- d0;
+    Pq.push queue d0 g.gw_stub_local.(tc);
+    let adj = g.cadj.(tc) in
+    let continue = ref true in
+    while !continue do
+      match Pq.pop queue with
+      | None -> continue := false
+      | Some (du, u) ->
+        t.pops <- t.pops + 1;
+        if du <= dist.(u) then
+          List.iter
+            (fun (v, w) ->
+              let alt = du +. w in
+              if alt < dist.(v) then begin
+                dist.(v) <- alt;
+                Pq.push queue alt v
+              end)
+            adj.(u)
+    done
+  end;
+  dist
+
+let clustered_distance t g states src dst =
+  let s, had_state =
+    match Hashtbl.find_opt states src with
+    | Some s ->
+      t.state_hits <- t.state_hits + 1;
+      (s, true)
+    | None ->
+      t.state_misses <- t.state_misses + 1;
+      ensure_capacity t;
+      let s = build_base t g src in
+      Hashtbl.add states src s;
+      (s, false)
+  in
+  touch t src;
+  let ncore = Array.length g.core in
+  let tc = g.cluster.(dst) in
+  if tc < 0 || tc = s.sc then begin
+    (* A settled hit is a query answered with no fresh Dijkstra work. *)
+    if had_state then t.settled_hits <- t.settled_hits + 1;
+    if tc < 0 then s.base.(g.core_slot.(dst)) else s.base.(ncore + g.local.(dst))
+  end
+  else begin
+    let tail =
+      match s.tails.(tc) with
+      | Some tail ->
+        if had_state then t.settled_hits <- t.settled_hits + 1;
+        tail
+      | None ->
+        let tail = build_tail t g s.base tc in
+        s.tails.(tc) <- Some tail;
+        tail
+    in
+    tail.(g.local.(dst))
+  end
+
+(* ---- public interface ---- *)
 
 let distance t u v =
   if u = v then 0.
   else begin
+    t.queries <- t.queries + 1;
     let src = min u v and dst = max u v in
-    (from_source t src).(dst)
+    match t.mode with
+    | Plain states -> plain_distance t states src dst
+    | Clustered (g, states) -> clustered_distance t g states src dst
   end
 
-let cached_sources t = Hashtbl.length t.cache
+let stats t =
+  {
+    queries = t.queries;
+    settled_hits = t.settled_hits;
+    state_hits = t.state_hits;
+    state_misses = t.state_misses;
+    evictions = t.evictions;
+    pops = t.pops;
+  }
+
+let hit_rate t =
+  if t.queries = 0 then 0. else float_of_int t.settled_hits /. float_of_int t.queries

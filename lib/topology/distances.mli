@@ -1,15 +1,63 @@
-(** Shortest-path distances with per-source caching.
+(** Lazy shortest-path distances with bounded per-source caching.
 
-    Each distinct source triggers one Dijkstra run whose result is cached;
-    symmetry of undirected graphs is exploited by always running from the
-    smaller endpoint. *)
+    Replaces the eager Dijkstra-per-source cache (one [n]-float array per
+    distinct source, kept forever) with:
+
+    - {b Early termination}: a query [distance t u v] runs Dijkstra from
+      [min u v] only until [max u v] is settled.
+    - {b Resumable frontiers}: the partial heap and tentative distances are
+      kept per source, so later queries from the same source continue where
+      the previous one stopped; total work per source never exceeds one full
+      Dijkstra run.
+    - {b LRU cap}: at most [cache_sources] per-source states are retained;
+      the least-recently-queried source is evicted when the cap is hit.
+    - {b Clustered mode} ({!create_clustered}): for transit-stub topologies,
+      per-source state is restricted to the source's own cluster plus the
+      transit core — O(cluster + core) instead of O(n) — with per-target-
+      cluster tails materialized on demand.
+
+    All modes return floats {e bit-identical} to a full-graph
+    [Graph.dijkstra]: Dijkstra's computed distance is the minimum over paths
+    of the left-folded [+.] sum, early termination only stops after that
+    minimum is final, and the clustered decomposition removes only path
+    candidates that are pointwise dominated (float [+.] is monotone), so the
+    minimum is unchanged. Simulation traces therefore cannot shift by even
+    one ulp. *)
 
 type t
 
-val create : Graph.t -> t
+val create : ?cache_sources:int -> Graph.t -> t
+(** Lazy resumable Dijkstra over an arbitrary graph. [cache_sources]
+    (default 1024) bounds the number of retained per-source frontiers.
+    @raise Invalid_argument if [cache_sources < 1]. *)
+
+val create_clustered : ?cache_sources:int -> Graph.t -> cluster:int array -> t
+(** [create_clustered graph ~cluster] uses the transit-stub decomposition.
+    [cluster.(v)] is [v]'s stub-cluster id, or [-1] for transit (core)
+    routers. Requires — and verifies — that no edge joins two distinct
+    clusters and that each cluster is attached to the core by exactly one
+    edge; otherwise the decomposition would be wrong and
+    [Invalid_argument] is raised. *)
 
 val distance : t -> int -> int -> float
-(** Shortest-path distance between two routers; [infinity] if disconnected. *)
+(** Shortest-path distance between two routers; [infinity] if disconnected.
+    Symmetry is exploited by always working from the smaller endpoint. *)
 
 val cached_sources : t -> int
-(** Number of Dijkstra results currently cached (memory diagnostics). *)
+(** Number of per-source states currently retained (memory diagnostics). *)
+
+type stats = {
+  queries : int;  (** [distance] calls with [u <> v]. *)
+  settled_hits : int;
+      (** Queries answered from already-computed state, with no new Dijkstra
+          work beyond a lookup. *)
+  state_hits : int;  (** Queries that found per-source state cached. *)
+  state_misses : int;  (** Queries that had to build per-source state. *)
+  evictions : int;  (** Sources dropped by the LRU cap. *)
+  pops : int;  (** Total heap pops across all Dijkstra work (cost proxy). *)
+}
+
+val stats : t -> stats
+
+val hit_rate : t -> float
+(** [settled_hits / queries]; [0.] before any query. *)

@@ -14,9 +14,11 @@ let attach ~seed topo ~n =
     invalid_arg "Endhosts.attach: topology has no stub routers";
   let attach_router = Array.init n (fun _ -> Rng.pick rng stubs) in
   let last_mile = Array.init n (fun _ -> 0.5 +. Rng.float rng 1.5) in
-  { distances = Distances.create (Transit_stub.graph topo); attach_router; last_mile }
+  { distances = Transit_stub.distances topo; attach_router; last_mile }
 
 let count t = Array.length t.attach_router
+
+let distances t = t.distances
 
 let router_of t host = t.attach_router.(host)
 

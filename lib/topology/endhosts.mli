@@ -13,6 +13,10 @@ val attach : seed:int -> Transit_stub.t -> n:int -> t
 
 val count : t -> int
 
+val distances : t -> Distances.t
+(** The underlying router-distance oracle (clustered, lazily computed); use
+    {!Distances.stats} for cache diagnostics. *)
+
 val router_of : t -> int -> int
 (** Attachment router of a host index. *)
 

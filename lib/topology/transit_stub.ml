@@ -52,6 +52,7 @@ type t = {
   transit_routers : int array;
   stub_routers : int array;
   transit_flags : bool array;
+  cluster_of : int array; (* stub-cluster id per router; -1 for transit *)
 }
 
 (* Latency ranges (milliseconds) per link class, in the spirit of GT-ITM
@@ -125,17 +126,24 @@ let generate ~seed config =
     end
   done;
   (* Stub domains: a connected cluster per (transit router, stub index), tied
-     to its transit router by one gateway edge. *)
+     to its transit router by one gateway edge. Each cluster gets a distinct
+     id in [cluster_of] (transit routers keep -1), which is exactly the
+     single-gateway clustering that [Distances.create_clustered] exploits. *)
   let stub_routers = ref [] in
+  let cluster_of = Array.make total (-1) in
+  let next_cluster = ref 0 in
   Array.iter
     (fun domain ->
       Array.iter
         (fun transit_router ->
           for _ = 1 to c.stubs_per_transit_router do
+            let cid = !next_cluster in
+            incr next_cluster;
             let stub =
               Array.init c.routers_per_stub (fun _ ->
                   let v = fresh () in
                   stub_routers := v :: !stub_routers;
+                  cluster_of.(v) <- cid;
                   v)
             in
             connect_random rng graph stub ~extra_prob:c.extra_edge_prob_stub
@@ -152,6 +160,7 @@ let generate ~seed config =
       transit_routers = Array.concat (Array.to_list domains);
       stub_routers = Array.of_list (List.rev !stub_routers);
       transit_flags;
+      cluster_of;
     }
   in
   assert (Graph.is_connected graph);
@@ -164,6 +173,11 @@ let transit_routers t = t.transit_routers
 let stub_routers t = t.stub_routers
 
 let is_transit t v = t.transit_flags.(v)
+
+let cluster_assignment t = t.cluster_of
+
+let distances ?cache_sources t =
+  Distances.create_clustered ?cache_sources t.graph ~cluster:t.cluster_of
 
 let pp_summary ppf t =
   Fmt.pf ppf "transit-stub topology: %d routers (%d transit, %d stub), %d links"

@@ -49,4 +49,14 @@ val stub_routers : t -> int array
 
 val is_transit : t -> int -> bool
 
+val cluster_assignment : t -> int array
+(** Stub-cluster id per router ([-1] for transit routers). Each cluster is
+    internally connected and attached to the transit core by exactly one
+    gateway edge. Do not mutate. *)
+
+val distances : ?cache_sources:int -> t -> Distances.t
+(** A {!Distances.t} in clustered mode over this topology's graph, so
+    per-source shortest-path state is O(cluster + core) instead of
+    O(routers). *)
+
 val pp_summary : t Fmt.t

@@ -84,12 +84,13 @@ let cancel_prevents_firing () =
   check Alcotest.bool "not yet cancelled" false (Engine.cancelled h);
   Engine.cancel e h;
   check Alcotest.bool "cancelled" true (Engine.cancelled h);
-  (* Lazy deletion: the event keeps its queue slot... *)
-  check Alcotest.int "still pending" 3 (Engine.pending e);
+  (* Eager deletion: the event leaves the queue immediately... *)
+  check Alcotest.int "still pending" 2 (Engine.pending e);
+  check Alcotest.int "cancelled count" 1 (Engine.events_cancelled e);
   Engine.run e;
-  (* ...and pops as a no-op, still counted as processed. *)
+  (* ...and never fires nor counts as processed. *)
   check Alcotest.(list string) "only live events" [ "a"; "b" ] (List.rev !fired);
-  check Alcotest.int "popped" 3 (Engine.events_processed e)
+  check Alcotest.int "popped" 2 (Engine.events_processed e)
 
 let cancel_after_fire_is_noop () =
   let e = Engine.create () in
@@ -159,6 +160,34 @@ let latency_distance_jitter () =
     if v < 7. || v > 7.7 +. 1e-9 then Alcotest.failf "jittered out of range: %f" v
   done
 
+let latency_min_delay () =
+  check Alcotest.bool "epsilon positive" true (Latency.min_delay > 0.);
+  (* Zero-distance (co-located) endpoints still get a strictly positive
+     delay, clamped to the epsilon — virtual time must always advance. *)
+  let l = Latency.of_distance (fun ~src:_ ~dst:_ -> 0.) in
+  check (Alcotest.float 0.) "clamped to epsilon" Latency.min_delay
+    (Latency.sample l ~src:3 ~dst:3);
+  let l' = Latency.of_distance ~jitter:0.5 ~seed:9 (fun ~src:_ ~dst:_ -> 0.) in
+  for _ = 1 to 20 do
+    check Alcotest.bool "jittered still >= epsilon" true
+      (Latency.sample l' ~src:0 ~dst:1 >= Latency.min_delay)
+  done
+
+(* Same-host messages all arrive after the same epsilon, so their delivery
+   order is the engine's FIFO tie-break — i.e. exactly the send order. *)
+let same_host_delivery_order () =
+  let l = Latency.of_distance (fun ~src:_ ~dst:_ -> 0.) in
+  let e = Engine.create () in
+  let order = ref [] in
+  List.iter
+    (fun tag ->
+      let d = Latency.sample l ~src:1 ~dst:1 in
+      Engine.schedule e ~delay:d (fun () -> order := tag :: !order))
+    [ "m1"; "m2"; "m3"; "m4" ];
+  Engine.run e;
+  check Alcotest.(list string) "send order preserved" [ "m1"; "m2"; "m3"; "m4" ]
+    (List.rev !order)
+
 let latency_validation () =
   (try
      ignore (Latency.constant 0.);
@@ -201,6 +230,8 @@ let suites =
         Alcotest.test_case "constant" `Quick latency_constant;
         Alcotest.test_case "uniform range" `Quick latency_uniform_range;
         Alcotest.test_case "distance jitter" `Quick latency_distance_jitter;
+        Alcotest.test_case "min delay epsilon" `Quick latency_min_delay;
+        Alcotest.test_case "same-host delivery order" `Quick same_host_delivery_order;
         Alcotest.test_case "validation" `Quick latency_validation;
         Alcotest.test_case "trace" `Quick trace_equality;
       ] );

@@ -1,0 +1,120 @@
+(* Golden-trace regression test.
+
+   The event-queue, shortest-path and codec optimizations all promise
+   byte-identical simulation behaviour. This test pins that promise to a
+   committed fixture: a full delivery trace (exact hex-float timestamps) of a
+   small Figure-15(b)-style run. Any change to event ordering, latency
+   sampling or message contents shows up as a divergence here, with the first
+   differing event printed.
+
+   To regenerate after an intentional behaviour change:
+
+     NTCU_GOLDEN_OUT=$PWD/test/golden_trace.expected \
+       dune exec test/test_main.exe -- test goldentrace
+*)
+
+module Trace = Ntcu_sim.Trace
+module Network = Ntcu_core.Network
+module Experiment = Ntcu_harness.Experiment
+
+let fixture_file = "golden_trace.expected"
+
+(* Read at module load, before the test framework runs, so the relative path
+   resolves in dune's sandbox (the fixture is a declared test dependency). *)
+let fixture_lines =
+  try
+    let ic = open_in fixture_file in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let lines = ref [] in
+        (try
+           while true do
+             lines := input_line ic :: !lines
+           done
+         with End_of_file -> ());
+        Some (List.rev !lines))
+  with Sys_error _ -> None
+
+let golden_setup = { Experiment.d = 8; n = 60; m = 20 }
+
+let golden_trace () =
+  let run =
+    Experiment.fig15b ~routers:Ntcu_topology.Transit_stub.default_config
+      ~record_trace:true ~seed:7 golden_setup
+  in
+  match Network.trace run.net with
+  | None -> Alcotest.fail "trace recording was not enabled"
+  | Some tr -> tr
+
+let digest_of_lines lines = Digest.to_hex (Digest.string (String.concat "\n" lines))
+
+let reproduces_fixture () =
+  let tr = golden_trace () in
+  let lines = Trace.to_lines tr in
+  (match Sys.getenv_opt "NTCU_GOLDEN_OUT" with
+  | Some path ->
+    let oc = open_out path in
+    List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+    close_out oc;
+    Printf.printf "regenerated %s (%d events, digest %s)\n" path (List.length lines)
+      (Trace.digest tr)
+  | None -> ());
+  match fixture_lines with
+  | None ->
+    (* Deliberately a failure, not a skip: CI greps for this test having run
+       and a silently missing fixture must not pass. *)
+    Alcotest.failf "fixture %s missing; regenerate with NTCU_GOLDEN_OUT" fixture_file
+  | Some expected ->
+    let rec first_diff i a b =
+      match (a, b) with
+      | [], [] -> None
+      | x :: a', y :: b' ->
+        if String.equal x y then first_diff (i + 1) a' b' else Some (i, Some x, Some y)
+      | x :: _, [] -> Some (i, Some x, None)
+      | [], y :: _ -> Some (i, None, Some y)
+    in
+    (match first_diff 0 expected lines with
+    | None -> ()
+    | Some (i, e, g) ->
+      let show = function Some l -> l | None -> "<trace ended>" in
+      Alcotest.failf
+        "trace diverged at event %d:\n  expected: %s\n  got:      %s\n(%d expected \
+         events, %d got)"
+        i (show e) (show g) (List.length expected) (List.length lines));
+    Alcotest.check Alcotest.string "digest" (digest_of_lines expected) (Trace.digest tr)
+
+(* The same seed must reproduce the trace within a process too — digest and
+   divergence reporting are exercised directly. *)
+let rerun_identical () =
+  let a = golden_trace () and b = golden_trace () in
+  Alcotest.check Alcotest.string "same digest" (Trace.digest a) (Trace.digest b);
+  Alcotest.check Alcotest.bool "no divergence" true (Trace.first_divergence a b = None)
+
+let divergence_reporting () =
+  let a = Trace.create () and b = Trace.create () in
+  Trace.record a 1. "x";
+  Trace.record b 1. "x";
+  Alcotest.check Alcotest.bool "equal" true (Trace.first_divergence a b = None);
+  Trace.record a 2. "y";
+  Trace.record b 2. "z";
+  (match Trace.first_divergence a b with
+  | Some (1, Some la, Some lb) ->
+    Alcotest.check Alcotest.bool "lines differ" true (la <> lb)
+  | other ->
+    Alcotest.failf "unexpected divergence: %s"
+      (match other with None -> "none" | Some (i, _, _) -> string_of_int i));
+  Trace.record a 3. "tail";
+  match Trace.first_divergence b a with
+  | Some (1, _, _) -> ()
+  | _ -> Alcotest.fail "divergence index changed by extra tail"
+
+let suites =
+  [
+    ( "goldentrace",
+      [
+        Alcotest.test_case "reproduces fixture" `Quick reproduces_fixture;
+        Alcotest.test_case "rerun identical" `Quick rerun_identical;
+        Alcotest.test_case "divergence reporting" `Quick divergence_reporting;
+      ] );
+  ]

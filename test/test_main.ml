@@ -22,4 +22,6 @@ let () =
          Test_dynamics.suites;
          Test_resilience.suites;
          Test_harness.suites;
+         Test_properties.suites;
+         Test_goldentrace.suites;
        ])

@@ -84,10 +84,12 @@ let bit_vector_accounted () =
 
 let stats_record_and_add () =
   let s = Stats.create () in
-  Stats.record_sent s p (Cp_rst { level = 0 });
-  Stats.record_sent s p Message.Join_wait;
-  Stats.record_sent s p (Join_noti { table = sample_snapshot (); noti_level = 0; filled = None });
-  Stats.record_received s p Message.In_sys_noti;
+  let record_sent m = Stats.record_sent s m ~bytes:(Message.size_bytes p m) in
+  record_sent (Cp_rst { level = 0 });
+  record_sent Message.Join_wait;
+  record_sent (Join_noti { table = sample_snapshot (); noti_level = 0; filled = None });
+  Stats.record_received s Message.In_sys_noti
+    ~bytes:(Message.size_bytes p Message.In_sys_noti);
   check Alcotest.int "cp+wait" 2 (Stats.copy_and_wait_sent s);
   check Alcotest.int "join noti" 1 (Stats.join_noti_sent s);
   check Alcotest.int "total sent" 3 (Stats.total_sent s);
