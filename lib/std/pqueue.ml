@@ -12,15 +12,16 @@ type 'a entry = {
   seq : int;
   value : 'a;
   mutable pos : int; (* slot in [heap]; -1 once popped or removed *)
+  owner : 'a t; (* queue the entry was pushed to; guards cross-queue misuse *)
 }
 
-type 'a handle = 'a entry
-
-type 'a t = {
+and 'a t = {
   mutable heap : 'a entry array; (* slots [0, size) are live *)
   mutable size : int;
   mutable next_seq : int;
 }
+
+type 'a handle = 'a entry
 
 let create () = { heap = [||]; size = 0; next_seq = 0 }
 
@@ -71,7 +72,7 @@ let rec sift_down q i =
   end
 
 let push_handle q key value =
-  let entry = { key; seq = q.next_seq; value; pos = q.size } in
+  let entry = { key; seq = q.next_seq; value; pos = q.size; owner = q } in
   if q.size = Array.length q.heap then grow q entry;
   q.heap.(q.size) <- entry;
   q.next_seq <- q.next_seq + 1;
@@ -96,11 +97,12 @@ let pop q =
     Some (top.key, top.value)
   end
 
-let mem _q h = h.pos >= 0
+let mem q h = h.owner == q && h.pos >= 0
 
 let key h = h.key
 
 let remove q h =
+  if h.owner != q then invalid_arg "Pqueue.remove: handle from another queue";
   let i = h.pos in
   if i < 0 then false
   else begin
@@ -117,6 +119,7 @@ let remove q h =
   end
 
 let decrease_key q h key =
+  if h.owner != q then invalid_arg "Pqueue.decrease_key: handle from another queue";
   if h.pos < 0 then invalid_arg "Pqueue.decrease_key: stale handle";
   if key > h.key then invalid_arg "Pqueue.decrease_key: key increase";
   h.key <- key;

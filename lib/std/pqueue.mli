@@ -17,7 +17,10 @@ type 'a handle
 (** Names one pushed element. Becomes stale once the element leaves the
     queue (by {!pop}, {!remove} or {!clear}); operations on a stale handle
     are safe — {!remove} returns [false], {!mem} returns [false] and
-    {!decrease_key} raises. *)
+    {!decrease_key} raises. A handle is tied to the queue that created it:
+    {!mem} answers [false] for another queue's handle, while {!remove} and
+    {!decrease_key} raise [Invalid_argument] rather than corrupt either
+    queue. *)
 
 val create : unit -> 'a t
 
@@ -40,7 +43,8 @@ val peek : 'a t -> (float * 'a) option
 val remove : 'a t -> 'a handle -> bool
 (** [remove q h] deletes the element named by [h] from the queue in
     O(log n). Returns [false] (and does nothing) if the element already left
-    the queue. The relative order of all other elements is unaffected. *)
+    the queue. The relative order of all other elements is unaffected.
+    @raise Invalid_argument if [h] was created by a different queue. *)
 
 val mem : 'a t -> 'a handle -> bool
 (** Whether the element named by the handle is still queued. *)
@@ -52,7 +56,7 @@ val decrease_key : 'a t -> 'a handle -> float -> unit
 (** [decrease_key q h k] lowers the element's key to [k], keeping its
     original insertion sequence number (so among equal keys it still ranks by
     original push order).
-    @raise Invalid_argument if the handle is stale or [k] is larger than the
-    current key. *)
+    @raise Invalid_argument if the handle is stale, was created by a
+    different queue, or [k] is larger than the current key. *)
 
 val clear : 'a t -> unit

@@ -114,6 +114,24 @@ let stale_handles_safe () =
     (Invalid_argument "Pqueue.decrease_key: key increase") (fun () ->
       Pqueue.decrease_key q h3 4.)
 
+let foreign_handles_rejected () =
+  let qa = Pqueue.create () and qb = Pqueue.create () in
+  let ha = Pqueue.push_handle qa 1. "a" in
+  ignore (Pqueue.push_handle qb 2. "b");
+  check Alcotest.bool "mem in owner" true (Pqueue.mem qa ha);
+  check Alcotest.bool "mem in other queue" false (Pqueue.mem qb ha);
+  Alcotest.check_raises "remove foreign"
+    (Invalid_argument "Pqueue.remove: handle from another queue") (fun () ->
+      ignore (Pqueue.remove qb ha));
+  Alcotest.check_raises "decrease_key foreign"
+    (Invalid_argument "Pqueue.decrease_key: handle from another queue") (fun () ->
+      Pqueue.decrease_key qb ha 0.);
+  (* Neither queue was corrupted by the rejected calls. *)
+  check Alcotest.int "qa intact" 1 (Pqueue.length qa);
+  check Alcotest.int "qb intact" 1 (Pqueue.length qb);
+  check Alcotest.bool "qa still pops" true (Pqueue.pop qa = Some (1., "a"));
+  check Alcotest.bool "qb still pops" true (Pqueue.pop qb = Some (2., "b"))
+
 let heap_sorts =
   qtest "pop yields sorted keys" QCheck.(list (float_bound_exclusive 1000.)) (fun keys ->
       let q = Pqueue.create () in
@@ -175,6 +193,7 @@ let suites =
         Alcotest.test_case "remove via handle" `Quick remove_leaves_order_intact;
         Alcotest.test_case "decrease_key" `Quick decrease_key_reorders;
         Alcotest.test_case "stale handles" `Quick stale_handles_safe;
+        Alcotest.test_case "foreign handles" `Quick foreign_handles_rejected;
         heap_sorts;
         interleaved_operations;
       ] );
