@@ -9,10 +9,20 @@
      dune exec bench/main.exe -- fig15a       -- only that section
      dune exec bench/main.exe -- --full ...   -- paper-scale router topology
      dune exec bench/main.exe -- --smoke ...  -- tiny parameters (CI smoke)
+     dune exec bench/main.exe -- --jobs 4 ... -- fan independent runs out to
+                                                 4 domains (0 = all cores;
+                                                 NTCU_JOBS works too)
 
    Sections: fig15a fig15b avg-vs-bound theorem3 theorem4 baseline msgsize
              census latency-ablation optimize churn assumption resilience fault
              perf micro
+
+   Every independent-run sweep (the four fig15b setups, the 300-run Theorem 4
+   estimator, the size-mode and latency-model ablations, the fault-injection
+   loss x crash grid) goes through Ntcu_std.Parallel.map, which returns
+   results in submission order — so all tables and JSON artifacts are
+   byte-identical across --jobs values; --jobs 1 (the default) is exactly
+   the serial path.
 
    The perf section writes BENCH_perf.json (see EXPERIMENTS.md for the
    schema) in the current directory. *)
@@ -29,6 +39,16 @@ let pf = Format.printf
 let section name = pf "@.=== %s ===@." name
 
 let mean_int a = Stats.mean (Stats.of_ints a)
+
+(* The worker pool for independent-run sweeps; set once in [main] from
+   --jobs / NTCU_JOBS before any section runs. [pmap] preserves submission
+   order, so every consumer below can treat it as List.map. *)
+let pool : Ntcu_std.Parallel.t option ref = ref None
+
+let pmap f xs =
+  match !pool with Some p -> Ntcu_std.Parallel.map p f xs | None -> List.map f xs
+
+let pool_jobs () = match !pool with Some p -> Ntcu_std.Parallel.jobs p | None -> 1
 
 (* ---- Figure 15(a): theoretical upper bound of E(J) ---- *)
 
@@ -47,9 +67,11 @@ let fig15a () =
 let paper_measured = [ 6.117; 6.051; 5.026; 5.399 ]
 
 let fig15b_runs ~routers () =
-  List.mapi
-    (fun i setup -> (setup, Experiment.fig15b ~routers ~seed:(100 + i) setup))
-    Experiment.paper_setups
+  (* Each run builds its own topology, latency model, network and RNGs
+     inside the thunk, so the four setups are free to run on four domains. *)
+  pmap
+    (fun (i, setup) -> (setup, Experiment.fig15b ~routers ~seed:(100 + i) setup))
+    (List.mapi (fun i setup -> (i, setup)) Experiment.paper_setups)
 
 let fig15b ~routers () =
   section "Figure 15(b): CDF of # JoinNotiMsg sent by a joining node";
@@ -103,9 +125,12 @@ let theorem4 () =
       let expected = Join_cost.expected_join_noti p ~n in
       let runs = 300 in
       let samples =
-        Array.init runs (fun seed ->
-            let run = Experiment.concurrent_joins p ~seed:((seed + 1) * 7) ~n ~m:1 () in
-            float_of_int run.join_noti.(0))
+        Array.of_list
+          (pmap
+             (fun seed ->
+               let run = Experiment.concurrent_joins p ~seed:((seed + 1) * 7) ~n ~m:1 () in
+               float_of_int run.join_noti.(0))
+             (List.init runs Fun.id))
       in
       let avg = Stats.mean samples in
       let stderr = Stats.stddev samples /. sqrt (float_of_int runs) in
@@ -157,7 +182,7 @@ let msgsize () =
   let p = Params.make ~b:16 ~d:8 in
   let n = 500 and m = 200 in
   let rows =
-    List.map
+    pmap
       (fun (mode, name) ->
         let run = Experiment.concurrent_joins ~size_mode:mode p ~seed:21 ~n ~m () in
         let bytes = Ntcu_core.Stats.bytes_sent (Ntcu_core.Network.global_stats run.net) in
@@ -228,10 +253,13 @@ let latency_ablation () =
   section "Ablation: latency model vs join cost (consistency must hold in all)";
   let p = Params.make ~b:16 ~d:8 in
   let n = 500 and m = 200 in
+  (* Latency models are built inside the thunk: the transit-stub one owns a
+     Distances cache, which is single-domain state and must belong to the
+     domain that runs its simulation. *)
   let rows =
-    List.map
-      (fun (latency, name) ->
-        let run = Experiment.concurrent_joins ~latency p ~seed:31 ~n ~m () in
+    pmap
+      (fun (make_latency, name) ->
+        let run = Experiment.concurrent_joins ~latency:(make_latency ()) p ~seed:31 ~n ~m () in
         [
           name;
           (if Experiment.consistent run then "yes" else "NO");
@@ -239,14 +267,15 @@ let latency_ablation () =
           string_of_int run.events;
         ])
       [
-        (Ntcu_sim.Latency.constant 1.0, "constant 1ms");
-        (Ntcu_sim.Latency.uniform ~seed:1 ~lo:1. ~hi:100., "uniform 1-100ms");
-        ( (let topo =
-             Ntcu_topology.Transit_stub.generate ~seed:2
-               Ntcu_topology.Transit_stub.default_config
-           in
-           let hosts = Ntcu_topology.Endhosts.attach ~seed:3 topo ~n:(n + m) in
-           Ntcu_topology.Endhosts.latency ~seed:4 hosts),
+        ((fun () -> Ntcu_sim.Latency.constant 1.0), "constant 1ms");
+        ((fun () -> Ntcu_sim.Latency.uniform ~seed:1 ~lo:1. ~hi:100.), "uniform 1-100ms");
+        ( (fun () ->
+            let topo =
+              Ntcu_topology.Transit_stub.generate ~seed:2
+                Ntcu_topology.Transit_stub.default_config
+            in
+            let hosts = Ntcu_topology.Endhosts.attach ~seed:3 topo ~n:(n + m) in
+            Ntcu_topology.Endhosts.latency ~seed:4 hosts),
           "transit-stub" );
       ]
   in
@@ -467,19 +496,27 @@ let fault ~smoke () =
     Printf.sprintf "%s/%s%s"
       (if f.run.all_in_system then "live" else Printf.sprintf "%d stuck" f.stuck)
       (if Experiment.consistent f.run then "ok"
-       else Printf.sprintf "%d viol" (List.length f.run.violations))
+       else Printf.sprintf "%d viol" (List.length (Lazy.force f.run.violations)))
       (if f.retransmissions > 0 then Printf.sprintf " (%d rtx)" f.retransmissions else "")
   in
   let losses = if smoke then [ 0.02 ] else [ 0.01; 0.02; 0.05 ] in
   let crashes = if smoke then [ 0.0; 0.02 ] else [ 0.0; 0.01; 0.03 ] in
+  (* The loss x crash grid is flattened into one batch of independent cells
+     (each with its own network, loss RNG and crash schedule), then folded
+     back into rows — the ordered map keeps the table identical to the
+     serial nesting. *)
+  let cells =
+    pmap
+      (fun (loss, crash_fraction) ->
+        Experiment.fault_injection ~loss ~crash_fraction p ~seed:91 ~n ~m ())
+      (List.concat_map (fun loss -> List.map (fun c -> (loss, c)) crashes) losses)
+  in
   let rows =
-    List.map
-      (fun loss ->
+    List.mapi
+      (fun i loss ->
         Printf.sprintf "%.0f%%" (100. *. loss)
-        :: List.map
-             (fun crash_fraction ->
-               cell
-                 (Experiment.fault_injection ~loss ~crash_fraction p ~seed:91 ~n ~m ()))
+        :: List.mapi
+             (fun j _ -> cell (List.nth cells ((i * List.length crashes) + j)))
              crashes)
       losses
   in
@@ -523,9 +560,12 @@ let perf ~full ~smoke () =
         Ntcu_topology.Transit_stub.scaled_config,
         [ { Experiment.d = 8; n = 3096; m = 1000 }; { Experiment.d = 40; n = 3096; m = 1000 } ] )
   in
-  pf "scale: %s, %d routers@." scale (Ntcu_topology.Transit_stub.router_count routers);
+  let jobs = pool_jobs () in
+  pf "scale: %s, %d routers, jobs %d@." scale
+    (Ntcu_topology.Transit_stub.router_count routers)
+    jobs;
   let module J = Report.Json in
-  let run_one i (setup : Experiment.fig15b_setup) =
+  let run_one (i, (setup : Experiment.fig15b_setup)) =
     let t0 = Unix.gettimeofday () in
     let run, hosts = Experiment.fig15b_instrumented ~routers ~seed:(100 + i) setup in
     let wall = Unix.gettimeofday () -. t0 in
@@ -575,22 +615,34 @@ let perf ~full ~smoke () =
     in
     (row, json, wall)
   in
-  let results = List.mapi run_one setups in
+  (* Aggregate wall is elapsed time around the whole fan-out; the sum of
+     per-run walls is what a serial execution would have cost (measured
+     in-run, so it slightly inflates under core contention), making
+     [speedup_vs_serial] a conservative estimate at --jobs 1 and an
+     optimistic one beyond the physical core count. *)
+  let t_all = Unix.gettimeofday () in
+  let results = pmap run_one (List.mapi (fun i setup -> (i, setup)) setups) in
+  let total_wall = Unix.gettimeofday () -. t_all in
   let rows = List.map (fun (r, _, _) -> r) results in
-  let total_wall = List.fold_left (fun acc (_, _, w) -> acc +. w) 0. results in
+  let serial_wall = List.fold_left (fun acc (_, _, w) -> acc +. w) 0. results in
+  let speedup = if total_wall > 0. then serial_wall /. total_wall else 1. in
   pf "%a"
     (Report.table
        ~header:
          [ "setup"; "wall s"; "events"; "events/s"; "top heap w"; "dijkstra hit"; "ok" ])
     rows;
-  pf "total wall: %.2fs@." total_wall;
+  pf "total wall: %.2fs (per-run sum %.2fs, %.2fx vs serial at %d jobs)@." total_wall
+    serial_wall speedup jobs;
   let doc =
     J.Obj
       [
-        ("schema", J.String "ntcu-bench-perf/1");
+        ("schema", J.String "ntcu-bench-perf/2");
         ("scale", J.String scale);
         ("routers", J.Int (Ntcu_topology.Transit_stub.router_count routers));
+        ("jobs", J.Int jobs);
         ("total_wall_s", J.Float total_wall);
+        ("serial_wall_s", J.Float serial_wall);
+        ("speedup_vs_serial", J.Float speedup);
         ("runs", J.List (List.map (fun (_, j, _) -> j) results));
       ]
   in
@@ -650,8 +702,28 @@ let micro () =
         results)
     benchmarks
 
+(* Pull "--jobs N" / "--jobs=N" out of the argument list (so N is not
+   mistaken for a section name) and return (jobs value, remaining args). *)
+let extract_jobs args =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 0 -> n
+    | Some _ | None -> failwith (Printf.sprintf "--jobs %s: expected a nonnegative integer" s)
+  in
+  let rec go acc jobs = function
+    | [] -> (jobs, List.rev acc)
+    | "--jobs" :: v :: rest -> go acc (Some (parse v)) rest
+    | "--jobs" :: [] -> failwith "--jobs: missing value"
+    | a :: rest when String.length a > 7 && String.sub a 0 7 = "--jobs=" ->
+      go acc (Some (parse (String.sub a 7 (String.length a - 7)))) rest
+    | a :: rest -> go (a :: acc) jobs rest
+  in
+  go [] None args
+
 let () =
-  let args = Array.to_list Sys.argv in
+  let jobs_opt, args = extract_jobs (Array.to_list Sys.argv) in
+  let jobs = Ntcu_std.Parallel.resolve_jobs jobs_opt in
+  pool := Some (Ntcu_std.Parallel.create ~jobs);
   let full = List.exists (( = ) "--full") args in
   let smoke = List.exists (( = ) "--smoke") args in
   let routers =
@@ -683,4 +755,5 @@ let () =
   if want "fault" then fault ~smoke ();
   if want "perf" then perf ~full ~smoke ();
   if want "micro" then micro ();
+  (match !pool with Some p -> Ntcu_std.Parallel.shutdown p | None -> ());
   pf "@.done.@."

@@ -67,32 +67,54 @@ let join_cmd =
 
 (* ---- validate ---- *)
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs" ] ~docv:"J"
+        ~doc:
+          "Fan independent runs out to $(docv) domains (0 = one per core). Defaults to \
+           the NTCU_JOBS environment variable, then to 1 (serial). Results are \
+           collected in submission order, so the output is identical for every value.")
+
 let validate_cmd =
-  let run trials =
-    let failures = ref 0 in
-    let scenario label (run : Experiment.join_run) =
-      let ok =
-        run.all_in_system && run.quiescent && run.violations = []
-        && Array.for_all
-             (fun c -> c <= (Ntcu_core.Network.params run.net).d + 1)
-             run.cp_wait
-      in
-      if not ok then incr failures;
-      Format.printf "%-50s %s@." label (if ok then "ok" else "FAILED")
+  let run trials jobs =
+    let jobs = Ntcu_std.Parallel.resolve_jobs jobs in
+    let ok_run (run : Experiment.join_run) =
+      run.all_in_system && run.quiescent && Experiment.consistent run
+      && Array.for_all
+           (fun c -> c <= (Ntcu_core.Network.params run.net).d + 1)
+           run.cp_wait
     in
-    for seed = 1 to trials do
-      scenario
-        (Printf.sprintf "concurrent b=4 d=6 n=20 m=30 seed=%d" seed)
-        (Experiment.concurrent_joins (Params.make ~b:4 ~d:6) ~seed ~n:20 ~m:30 ());
-      scenario
-        (Printf.sprintf "dependent  b=8 d=5 n=30 m=20 seed=%d" seed)
-        (Experiment.concurrent_joins
-           (Params.make ~b:8 ~d:5)
-           ~suffix:[| 3; 1 |] ~seed ~n:30 ~m:20 ());
-      scenario
-        (Printf.sprintf "init       b=4 d=6 n=30       seed=%d" seed)
-        (Experiment.network_init (Params.make ~b:4 ~d:6) ~seed ~n:30)
-    done;
+    (* Every (scenario, seed) pair is an independent simulation; fan them
+       out and print in submission order, byte-identical to the serial loop. *)
+    let scenarios =
+      List.concat_map
+        (fun seed ->
+          [
+            ( Printf.sprintf "concurrent b=4 d=6 n=20 m=30 seed=%d" seed,
+              fun () ->
+                Experiment.concurrent_joins (Params.make ~b:4 ~d:6) ~seed ~n:20 ~m:30 () );
+            ( Printf.sprintf "dependent  b=8 d=5 n=30 m=20 seed=%d" seed,
+              fun () ->
+                Experiment.concurrent_joins
+                  (Params.make ~b:8 ~d:5)
+                  ~suffix:[| 3; 1 |] ~seed ~n:30 ~m:20 () );
+            ( Printf.sprintf "init       b=4 d=6 n=30       seed=%d" seed,
+              fun () -> Experiment.network_init (Params.make ~b:4 ~d:6) ~seed ~n:30 );
+          ])
+        (List.init trials (fun i -> i + 1))
+    in
+    let results =
+      Ntcu_std.Parallel.with_pool ~jobs (fun pool ->
+          Ntcu_std.Parallel.map pool (fun (label, thunk) -> (label, ok_run (thunk ()))) scenarios)
+    in
+    let failures = ref 0 in
+    List.iter
+      (fun (label, ok) ->
+        if not ok then incr failures;
+        Format.printf "%-50s %s@." label (if ok then "ok" else "FAILED"))
+      results;
     Format.printf "@.%d scenario(s) failed@." !failures;
     if !failures = 0 then 0 else 1
   in
@@ -102,7 +124,7 @@ let validate_cmd =
   Cmd.v
     (Cmd.info "validate"
        ~doc:"Run a battery of join scenarios across seeds and check every invariant.")
-    Term.(const run $ trials)
+    Term.(const run $ trials $ jobs_arg)
 
 (* ---- fig15a ---- *)
 

@@ -30,17 +30,20 @@ let rec log_gamma x =
 
 let factorial_cache_size = 10_000
 
+(* Built eagerly at module init: forcing a shared [lazy] concurrently from
+   several domains is a race, and the analytic model may be evaluated inside
+   parallel experiment thunks. The fill is ~10k flops, well under the cost
+   of one simulation event. *)
 let factorial_cache =
-  lazy
-    (let cache = Array.make factorial_cache_size 0. in
-     for i = 2 to factorial_cache_size - 1 do
-       cache.(i) <- cache.(i - 1) +. log (float_of_int i)
-     done;
-     cache)
+  let cache = Array.make factorial_cache_size 0. in
+  for i = 2 to factorial_cache_size - 1 do
+    cache.(i) <- cache.(i - 1) +. log (float_of_int i)
+  done;
+  cache
 
 let log_factorial n =
   if n < 0 then invalid_arg "Logmath.log_factorial: negative argument";
-  if n < factorial_cache_size then (Lazy.force factorial_cache).(n)
+  if n < factorial_cache_size then factorial_cache.(n)
   else log_gamma (float_of_int n +. 1.)
 
 let log_binomial n k =

@@ -378,7 +378,7 @@ let stuck_joiners t =
 
 let is_quiescent t = Engine.pending t.engine = 0
 
-let check_consistent t = Ntcu_table.Check.violations (tables t)
+let check_consistent ?limit t = Ntcu_table.Check.violations ?limit (tables t)
 
 let global_stats t = t.global
 

@@ -145,8 +145,10 @@ val all_in_system : t -> bool
 val is_quiescent : t -> bool
 (** No events pending. *)
 
-val check_consistent : t -> Ntcu_table.Check.violation list
-(** Definition 3.8 over the whole network; empty iff consistent. *)
+val check_consistent : ?limit:int -> t -> Ntcu_table.Check.violation list
+(** Definition 3.8 over the whole network; empty iff consistent. [limit]
+    (default 100) caps the number of violations collected — and aborts the
+    scan once reached, so [~limit:1] is the cheap yes/no probe. *)
 
 val global_stats : t -> Stats.t
 (** Totals across all nodes (each message counted once as sent, once as

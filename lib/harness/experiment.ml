@@ -12,14 +12,15 @@ type join_run = {
   joiners : Id.t list;
   join_noti : int array;
   cp_wait : int array;
-  violations : Ntcu_table.Check.violation list;
+  consistent : bool;
+  violations : Ntcu_table.Check.violation list Lazy.t;
   all_in_system : bool;
   quiescent : bool;
   events : int;
   elapsed_cpu : float;
 }
 
-let consistent run = run.violations = []
+let consistent run = run.consistent
 
 let finish ~t0 net seeds joiners =
   let stats_of id = Node.stats (Network.node_exn net id) in
@@ -30,7 +31,11 @@ let finish ~t0 net seeds joiners =
     join_noti = Array.of_list (List.map (fun id -> Stats.join_noti_sent (stats_of id)) joiners);
     cp_wait =
       Array.of_list (List.map (fun id -> Stats.copy_and_wait_sent (stats_of id)) joiners);
-    violations = Network.check_consistent net;
+    (* The eval path only needs yes/no, so probe with [~limit:1] (first
+       violation aborts the scan); the full list is recomputed lazily by the
+       rare consumer that reports violation details. *)
+    consistent = Network.check_consistent ~limit:1 net = [];
+    violations = lazy (Network.check_consistent net);
     all_in_system = Network.all_in_system net;
     quiescent = Network.is_quiescent net;
     events = Network.messages_delivered net;

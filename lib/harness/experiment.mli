@@ -7,7 +7,13 @@ type join_run = {
   joiners : Ntcu_id.Id.t list;  (** The joining set [W]. *)
   join_noti : int array;  (** Per joiner: # [JoinNotiMsg] sent ([J]). *)
   cp_wait : int array;  (** Per joiner: # [CpRstMsg + JoinWaitMsg] sent. *)
-  violations : Ntcu_table.Check.violation list;
+  consistent : bool;
+      (** Definition 3.8 yes/no, probed with [Check.violations ~limit:1] (the
+          scan aborts at the first violation). *)
+  violations : Ntcu_table.Check.violation list Lazy.t;
+      (** The full violation list, computed on demand: only forced by
+          consumers that report details of an inconsistent network. Force it
+          from one domain at a time. *)
   all_in_system : bool;
   quiescent : bool;
   events : int;  (** Messages delivered. *)

@@ -24,7 +24,7 @@ let pp_join_run ppf (run : Experiment.join_run) =
     (List.length run.seeds) (List.length run.joiners)
     (if run.all_in_system && run.quiescent then "all in_system" else "LIVENESS FAILURE")
     (if Experiment.consistent run then "consistent"
-     else Printf.sprintf "%d VIOLATIONS" (List.length run.violations))
+     else Printf.sprintf "%d VIOLATIONS" (List.length (Lazy.force run.violations)))
     run.events run.elapsed_cpu (Ntcu_std.Stats.mean j) (Ntcu_std.Stats.median j)
     (Ntcu_std.Stats.percentile j 99.)
     (snd (Ntcu_std.Stats.min_max j))

@@ -3,14 +3,31 @@ type t = {
   queue : (unit -> unit) Ntcu_std.Pqueue.t;
   mutable processed : int;
   mutable cancelled_count : int;
+  owner : Domain.id; (* creating domain; mutation from any other raises *)
 }
 
 let create () =
-  { clock = 0.; queue = Ntcu_std.Pqueue.create (); processed = 0; cancelled_count = 0 }
+  {
+    clock = 0.;
+    queue = Ntcu_std.Pqueue.create ();
+    processed = 0;
+    cancelled_count = 0;
+    owner = Domain.self ();
+  }
+
+(* The engine is single-domain mutable state (clock, heap). A parallel
+   experiment harness hands each run its own engine; this guard turns an
+   accidental share into an immediate error instead of silent heap
+   corruption. One domain-id read and compare per call — negligible next to
+   the heap operation it protects. *)
+let check_owner t op =
+  if Domain.self () <> t.owner then
+    invalid_arg ("Engine." ^ op ^ ": engine used from a domain other than its creator")
 
 let now t = t.clock
 
 let schedule_at t ~time f =
+  check_owner t "schedule_at";
   if time < t.clock then
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: time %g is before now %g" time t.clock);
@@ -26,11 +43,13 @@ type handle = {
 }
 
 let schedule_cancellable t ~delay f =
+  check_owner t "schedule_cancellable";
   if delay < 0. then invalid_arg "Engine.schedule_cancellable: negative delay";
   let ph = Ntcu_std.Pqueue.push_handle t.queue (t.clock +. delay) f in
   { ph; cancelled = false }
 
 let cancel t h =
+  check_owner t "cancel";
   if not h.cancelled then begin
     h.cancelled <- true;
     if Ntcu_std.Pqueue.remove t.queue h.ph then
@@ -46,6 +65,7 @@ let events_processed t = t.processed
 let events_cancelled t = t.cancelled_count
 
 let step t =
+  check_owner t "step";
   match Ntcu_std.Pqueue.pop t.queue with
   | None -> false
   | Some (time, f) ->

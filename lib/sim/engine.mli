@@ -3,7 +3,13 @@
     Events are thunks scheduled at a virtual time. Events with equal
     timestamps fire in scheduling order, so a run is a pure function of the
     initial schedule and the seeds used by the callers. This replaces the
-    authors' (unpublished) event-driven simulator. *)
+    authors' (unpublished) event-driven simulator.
+
+    An engine is single-domain mutable state. It remembers the domain that
+    created it, and every mutating operation ([schedule*], [cancel], [step]
+    and hence [run]/[run_until]) raises [Invalid_argument] when called from
+    any other domain — parallel experiment harnesses ({!Ntcu_std.Parallel})
+    must give each run its own engine. *)
 
 type t
 

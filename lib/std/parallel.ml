@@ -1,0 +1,136 @@
+(* A deliberately small domain pool: one shared FIFO of closures, workers
+   blocked on a condition variable. Each [map] call owns its result slots and
+   completion counter, so the pool itself carries no per-batch state and is
+   reusable — including after a batch that raised. *)
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t; (* guards [queue] and [stopping] *)
+  work_available : Condition.t;
+  queue : (unit -> unit) Queue.t; (* closures must not raise *)
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let env_jobs () =
+  match Sys.getenv_opt "NTCU_JOBS" with
+  | None | Some "" -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n > 0 -> Some n
+    | Some 0 -> Some (Domain.recommended_domain_count ())
+    | Some _ | None ->
+      invalid_arg (Printf.sprintf "NTCU_JOBS=%s: expected a nonnegative integer" s))
+
+let default_jobs () =
+  match env_jobs () with Some n -> n | None -> Domain.recommended_domain_count ()
+
+let resolve_jobs = function
+  | Some n when n > 0 -> n
+  | Some 0 -> Domain.recommended_domain_count ()
+  | Some n -> invalid_arg (Printf.sprintf "jobs must be >= 0, got %d" n)
+  | None -> ( match env_jobs () with Some n -> n | None -> 1)
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && not t.stopping do
+    Condition.wait t.work_available t.mutex
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.mutex (* stopping *)
+  else begin
+    let job = Queue.pop t.queue in
+    Mutex.unlock t.mutex;
+    job ();
+    worker_loop t
+  end
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Parallel.create: jobs must be >= 1";
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      workers = [];
+    }
+  in
+  if jobs > 1 then
+    t.workers <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let jobs t = t.jobs
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stopping <- true;
+  Condition.broadcast t.work_available;
+  Mutex.unlock t.mutex;
+  let workers = t.workers in
+  t.workers <- [];
+  List.iter Domain.join workers
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let map t f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ when t.jobs = 1 -> List.map f xs
+  | _ ->
+    let tasks = Array.of_list xs in
+    let n = Array.length tasks in
+    let results = Array.make n None in
+    (* Batch-local state, under its own lock so job bookkeeping never
+       contends with queue operations. *)
+    let batch_mutex = Mutex.create () in
+    let batch_done = Condition.create () in
+    let remaining = ref n in
+    let failure = ref None (* (submission index, exn, backtrace), least index *) in
+    let job i () =
+      let skip =
+        Mutex.lock batch_mutex;
+        let s = !failure <> None in
+        Mutex.unlock batch_mutex;
+        s
+      in
+      let outcome =
+        if skip then None
+        else begin
+          match f tasks.(i) with
+          | v -> Some (Ok v)
+          | exception e -> Some (Error (e, Printexc.get_raw_backtrace ()))
+        end
+      in
+      Mutex.lock batch_mutex;
+      (match outcome with
+      | Some (Ok v) -> results.(i) <- Some v
+      | Some (Error (e, bt)) -> begin
+        match !failure with
+        | Some (j, _, _) when j < i -> ()
+        | Some _ | None -> failure := Some (i, e, bt)
+      end
+      | None -> ());
+      decr remaining;
+      if !remaining = 0 then Condition.broadcast batch_done;
+      Mutex.unlock batch_mutex
+    in
+    Mutex.lock t.mutex;
+    for i = 0 to n - 1 do
+      Queue.push (job i) t.queue
+    done;
+    Condition.broadcast t.work_available;
+    Mutex.unlock t.mutex;
+    Mutex.lock batch_mutex;
+    while !remaining > 0 do
+      Condition.wait batch_done batch_mutex
+    done;
+    Mutex.unlock batch_mutex;
+    (match !failure with
+    | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.to_list
+      (Array.map (function Some v -> v | None -> assert false) results)

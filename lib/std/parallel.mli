@@ -1,0 +1,55 @@
+(** Fixed-size domain pool for fanning out independent simulation runs.
+
+    The paper's evaluation is a grid of independent seeded runs (Figure
+    15(b)'s four setups, the 300-run Theorem 4 estimator, the fault-injection
+    loss x crash sweep). Each run owns its engine, RNG, network and stats, so
+    the only coordination needed is an ordered [map]: thunks are fanned out
+    to worker domains and the results are collected in {e submission order},
+    which keeps every report and JSON artifact byte-identical to a serial
+    run regardless of scheduling.
+
+    Thunks must be self-contained: a simulation object ([Engine.t],
+    [Distances.t]) created inside one thunk must not be touched by another
+    domain — both modules carry an owner-domain guard that raises
+    [Invalid_argument] on cross-domain mutation rather than corrupting
+    silently. *)
+
+type t
+
+val default_jobs : unit -> int
+(** The [NTCU_JOBS] environment variable if set to a positive integer
+    ([0] means "auto"), otherwise [Domain.recommended_domain_count ()]. *)
+
+val resolve_jobs : int option -> int
+(** Resolve a [--jobs] command-line value: [Some n] with [n >= 1] is [n],
+    [Some 0] means "auto" ({!default_jobs} ignoring [NTCU_JOBS]), [None]
+    falls back to [NTCU_JOBS] (same convention) and finally [1] — so a run
+    that never mentions jobs is exactly today's serial run.
+    @raise Invalid_argument on [Some n] with [n < 0]. *)
+
+val create : jobs:int -> t
+(** A pool of [jobs] workers. [jobs = 1] spawns no domains: every {!map}
+    runs in the calling domain, preserving the exact serial execution path.
+    [jobs > 1] spawns [jobs] worker domains that live until {!shutdown}.
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val jobs : t -> int
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map t f xs] applies [f] to every element of [xs], fanning the
+    applications out to the pool's workers, and returns the results in the
+    order of [xs] (never in completion order). Must be called from the
+    domain that created the pool, with at most one [map] in flight.
+
+    If an application raises, the whole [map] raises that exception (with
+    its backtrace) after every in-flight application has finished; among
+    several raising applications the earliest by submission order that was
+    observed wins, and applications not yet started when the first failure
+    was recorded are skipped. The pool survives and can run further maps. *)
+
+val shutdown : t -> unit
+(** Join all worker domains. Idempotent. The pool must be idle. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] on a fresh pool and shuts it down
+    afterwards, also on exception. *)

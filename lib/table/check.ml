@@ -30,7 +30,10 @@ let suffix_witnesses tables =
     tables;
   witnesses
 
-let violations ?(limit = 100) tables =
+(* Reaching [limit] aborts the remaining scan (via [Exit]), so a [~limit:1]
+   yes/no probe of an inconsistent network stops at the first offending
+   entry instead of walking every table. *)
+let scan_violations ~limit tables =
   let witnesses = suffix_witnesses tables in
   let members =
     List.fold_left (fun acc t -> Id.Set.add (Table.owner t) acc) Id.Set.empty tables
@@ -38,33 +41,37 @@ let violations ?(limit = 100) tables =
   let found = ref [] in
   let count = ref 0 in
   let add v =
-    if !count < limit then begin
-      found := v :: !found;
-      incr count
-    end
+    found := v :: !found;
+    incr count;
+    if !count >= limit then raise Exit
   in
-  List.iter
-    (fun table ->
-      let p = Table.params table in
-      let node = Table.owner table in
-      for level = 0 to p.d - 1 do
-        for digit = 0 to p.b - 1 do
-          let suffix = Table.required_suffix table ~level ~digit in
-          match Table.neighbor table ~level ~digit with
-          | None -> begin
-            match Hashtbl.find_opt witnesses suffix with
-            | Some witness -> add (False_negative { node; level; digit; witness })
-            | None -> ()
-          end
-          | Some stored ->
-            if not (Id.Set.mem stored members) then
-              add (Dangling { node; level; digit; stored })
-            else if not (Id.has_suffix stored suffix) then
-              add (Wrong_suffix { node; level; digit; stored })
-        done
-      done)
-    tables;
+  (try
+     List.iter
+       (fun table ->
+         let p = Table.params table in
+         let node = Table.owner table in
+         for level = 0 to p.d - 1 do
+           for digit = 0 to p.b - 1 do
+             let suffix = Table.required_suffix table ~level ~digit in
+             match Table.neighbor table ~level ~digit with
+             | None -> begin
+               match Hashtbl.find_opt witnesses suffix with
+               | Some witness -> add (False_negative { node; level; digit; witness })
+               | None -> ()
+             end
+             | Some stored ->
+               if not (Id.Set.mem stored members) then
+                 add (Dangling { node; level; digit; stored })
+               else if not (Id.has_suffix stored suffix) then
+                 add (Wrong_suffix { node; level; digit; stored })
+           done
+         done)
+       tables
+   with Exit -> ());
   List.rev !found
+
+let violations ?(limit = 100) tables =
+  if limit <= 0 then [] else scan_violations ~limit tables
 
 let is_consistent tables = violations ~limit:1 tables = []
 

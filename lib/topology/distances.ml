@@ -62,6 +62,7 @@ type t = {
   graph : Graph.t;
   mode : mode;
   cache_sources : int;
+  owner : Domain.id; (* creating domain; queries from any other raise *)
   last_use : (int, int) Hashtbl.t; (* source -> LRU stamp *)
   mutable tick : int;
   mutable queries : int;
@@ -78,6 +79,7 @@ let make_t graph mode cache_sources =
     graph;
     mode;
     cache_sources;
+    owner = Domain.self ();
     last_use = Hashtbl.create 64;
     tick = 0;
     queries = 0;
@@ -380,7 +382,12 @@ let clustered_distance t g states src dst =
 
 (* ---- public interface ---- *)
 
+(* Even a "read" mutates the lazy frontiers, the LRU stamps and the
+   counters, so cross-domain use would corrupt silently. Parallel harnesses
+   must construct (or be handed) a per-run [t]. *)
 let distance t u v =
+  if Domain.self () <> t.owner then
+    invalid_arg "Distances.distance: queried from a domain other than its creator";
   if u = v then 0.
   else begin
     t.queries <- t.queries + 1;

@@ -22,7 +22,14 @@
     minimum is final, and the clustered decomposition removes only path
     candidates that are pointwise dominated (float [+.] is monotone), so the
     minimum is unchanged. Simulation traces therefore cannot shift by even
-    one ulp. *)
+    one ulp.
+
+    A [t] is single-domain mutable state (frontiers, LRU stamps, counters):
+    {!distance} raises [Invalid_argument] when called from a domain other
+    than the one that created the [t]. Parallel experiment harnesses
+    ({!Ntcu_std.Parallel}) must construct a per-run [t]; the read-only
+    diagnostics ({!stats}, {!hit_rate}, {!cached_sources}) stay callable
+    from anywhere. *)
 
 type t
 
@@ -41,7 +48,9 @@ val create_clustered : ?cache_sources:int -> Graph.t -> cluster:int array -> t
 
 val distance : t -> int -> int -> float
 (** Shortest-path distance between two routers; [infinity] if disconnected.
-    Symmetry is exploited by always working from the smaller endpoint. *)
+    Symmetry is exploited by always working from the smaller endpoint.
+    @raise Invalid_argument when called from a domain other than the
+    creator's (the cache is single-domain mutable state). *)
 
 val cached_sources : t -> int
 (** Number of per-source states currently retained (memory diagnostics). *)

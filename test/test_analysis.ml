@@ -131,7 +131,7 @@ let expected_matches_simulated_single_joins () =
   let total = ref 0 and runs = 40 in
   for seed = 1 to runs do
     let run = Experiment.concurrent_joins p ~seed:(1000 + seed) ~n ~m:1 () in
-    (match run.violations with [] -> () | _ -> Alcotest.fail "inconsistent");
+    (if not (Experiment.consistent run) then Alcotest.fail "inconsistent");
     total := !total + run.join_noti.(0)
   done;
   let avg = float_of_int !total /. float_of_int runs in

@@ -15,7 +15,7 @@ let p = Params.make ~b:4 ~d:6
 
 let build ~seed ~n ~m =
   let run = Experiment.concurrent_joins p ~seed ~n ~m () in
-  check Alcotest.int "setup consistent" 0 (List.length run.violations);
+  check Alcotest.int "setup consistent" 0 (List.length (Lazy.force run.violations));
   run
 
 let lookup_of net x = Option.map Node.table (Network.node net x)

@@ -3,6 +3,7 @@ let () =
     (List.concat
        [
          Test_rng.suites;
+         Test_parallel.suites;
          Test_pqueue.suites;
          Test_stats.suites;
          Test_id.suites;
