@@ -81,7 +81,7 @@ let validate_cmd =
   let run trials jobs =
     let jobs = Ntcu_std.Parallel.resolve_jobs jobs in
     let ok_run (run : Experiment.join_run) =
-      run.all_in_system && run.quiescent && Experiment.consistent run
+      Experiment.ok run
       && Array.for_all
            (fun c -> c <= (Ntcu_core.Network.params run.net).d + 1)
            run.cp_wait
@@ -304,6 +304,177 @@ let fault_cmd =
           reliability layer (ack/retransmit, failure suspicion, online repair).")
     Term.(const run $ n_arg $ m_arg $ b_arg $ d_arg $ seed_arg $ loss $ crash $ unreliable)
 
+(* ---- explore ---- *)
+
+let explore_cmd =
+  let module Explore = Ntcu_explore.Explore in
+  let module Episode = Ntcu_explore.Episode in
+  let module Scheduler = Ntcu_explore.Scheduler in
+  let module Repro = Ntcu_explore.Repro in
+  let run budget seed scheduler scenario n m b d jobs smoke inject_fault no_midflight
+      out max_shrinks replay =
+    match replay with
+    | Some path -> (
+      match Repro.load path with
+      | Error e ->
+        Format.eprintf "cannot load repro: %s@." e;
+        2
+      | Ok repro ->
+        let r = Repro.replay repro in
+        Format.printf "replaying %a@.expected %s@." Episode.pp_config repro.Repro.config
+          (Ntcu_explore.Invariants.signature repro.Repro.violation);
+        List.iter
+          (fun v ->
+            Format.printf "observed %s@." (Ntcu_explore.Invariants.signature v))
+          r.Repro.outcome.Episode.violations;
+        Format.printf "digest %s (expected %s)@." r.Repro.outcome.Episode.digest
+          repro.Repro.digest;
+        Format.printf "%s@." (if r.Repro.reproduced then "REPRODUCED" else "NOT REPRODUCED");
+        if r.Repro.reproduced then 0 else 1)
+    | None -> (
+      match
+        let base = if smoke then Explore.smoke_settings else Explore.default_settings in
+        let pick opt dflt = Option.value opt ~default:dflt in
+        let schedulers =
+          match scheduler with
+          | "all" -> base.Explore.schedulers
+          | "random" -> [ Scheduler.Random_delay { scale = 16. } ]
+          | "pct" -> [ Scheduler.Pct { bands = 4; invert = 0.05 } ]
+          | "targeted" -> [ Scheduler.Targeted { probability = 0.25; stretch = 32. } ]
+          | "nop" -> [ Scheduler.Nop ]
+          | s -> failwith (Printf.sprintf "unknown scheduler %S" s)
+        in
+        let scenarios =
+          match scenario with
+          | "all" -> base.Explore.scenarios
+          | s -> (
+            match Episode.scenario_of_name s with
+            | Some sc -> [ sc ]
+            | None -> failwith (Printf.sprintf "unknown scenario %S" s))
+        in
+        let fault =
+          match inject_fault with
+          | None -> None
+          | Some name -> (
+            match Episode.fault_of_name name with
+            | Some f -> Some f
+            | None -> failwith (Printf.sprintf "unknown fault %S" name))
+        in
+        ({
+            Explore.base_seed = seed;
+            budget = pick budget base.Explore.budget;
+            schedulers;
+            scenarios;
+            n = pick n base.Explore.n;
+            m = pick m base.Explore.m;
+            b = pick b base.Explore.b;
+            d = pick d base.Explore.d;
+            fault;
+            midflight = not no_midflight;
+            jobs = Ntcu_std.Parallel.resolve_jobs jobs;
+            max_shrinks = pick max_shrinks base.Explore.max_shrinks;
+          }
+          : Explore.settings)
+      with
+      | exception Failure e ->
+        Format.eprintf "%s@." e;
+        2
+      | settings ->
+        let report = Explore.run settings in
+        Format.printf "%a" Explore.pp_report report;
+        (match out with
+        | None -> ()
+        | Some dir ->
+          (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+          Ntcu_harness.Report.Json.to_file
+            (Filename.concat dir "explore_report.json")
+            (Explore.report_json report);
+          List.iteri
+            (fun i (f : Explore.found) ->
+              match f.Explore.repro with
+              | Some r ->
+                Repro.save (Filename.concat dir (Printf.sprintf "repro_%d.txt" i)) r
+              | None -> ())
+            report.Explore.found;
+          Format.printf "report and repros written to %s@." dir);
+        if report.Explore.failures = 0 then 0 else 1)
+  in
+  let budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~docv:"K" ~doc:"Episodes per (scenario, scheduler) pair.")
+  in
+  let scheduler =
+    Arg.(
+      value & opt string "all"
+      & info [ "scheduler" ] ~docv:"S"
+          ~doc:"Scheduler: $(b,random), $(b,pct), $(b,targeted), $(b,nop) or $(b,all).")
+  in
+  let scenario =
+    Arg.(
+      value & opt string "all"
+      & info [ "scenario" ] ~docv:"S"
+          ~doc:"Scenario: $(b,concurrent), $(b,dependent), $(b,fault) or $(b,all).")
+  in
+  let opt_int names doc =
+    Arg.(value & opt (some int) None & info names ~docv:"N" ~doc)
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ] ~doc:"CI-sized run: tiny budget and workloads, no fault scenario.")
+  in
+  let inject_fault =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "inject-fault" ] ~docv:"F"
+          ~doc:
+            "Inject a test-only protocol bug into every node: \
+             $(b,drop-queued-join-waits) or $(b,forget-negative-forward). The hunt is \
+             then expected to find (and exit 1 on) its violations.")
+  in
+  let no_midflight =
+    Arg.(value & flag & info [ "no-midflight" ] ~doc:"Disable the mid-flight monitors.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Write explore_report.json and repro_$(i).txt files to $(docv).")
+  in
+  let max_shrinks =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-shrinks" ] ~docv:"K"
+          ~doc:"Delta-debug at most $(docv) violations to minimal repros.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Replay a repro file instead of exploring; exit 0 iff the recorded \
+             violation and trace digest reproduce exactly.")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Hunt for schedule-dependent protocol violations: run seeded episodes under \
+          adversarial schedulers, check invariants, delta-debug any violation to a \
+          minimal replayable repro.")
+    Term.(
+      const run $ budget $ seed_arg $ scheduler $ scenario
+      $ opt_int [ "n" ] "Size of the initial network."
+      $ opt_int [ "m" ] "Number of joining nodes."
+      $ opt_int [ "b" ] "Digit base."
+      $ opt_int [ "d" ] "Digits per ID."
+      $ jobs_arg $ smoke $ inject_fault $ no_midflight $ out $ max_shrinks $ replay)
+
 let main =
   Cmd.group
     (Cmd.info "ntcu" ~version:"1.0.0"
@@ -320,6 +491,7 @@ let main =
       leave_cmd;
       recovery_cmd;
       fault_cmd;
+      explore_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -75,6 +75,18 @@ let kind_name = function
   | K_rv_ngh_noti -> "RvNghNotiMsg"
   | K_rv_ngh_noti_rly -> "RvNghNotiRlyMsg"
 
+(* The copy walk (CpRst/CpRly) is a strictly sequential request/reply chain
+   private to one joiner; every other message participates in a cross-node
+   ordering the consistency argument constrains (who is stored first, when a
+   T-entry flips to S, which repair notification lands before which scrub).
+   Adversarial schedulers target exactly these. *)
+let ordering_critical m =
+  match kind m with
+  | K_cp_rst | K_cp_rly -> false
+  | K_join_wait | K_join_wait_rly | K_join_noti | K_join_noti_rly | K_in_sys_noti
+  | K_spe_noti | K_spe_noti_rly | K_rv_ngh_noti | K_rv_ngh_noti_rly ->
+    true
+
 let pp_kind ppf k = Fmt.string ppf (kind_name k)
 
 let pp ppf m =

@@ -60,6 +60,15 @@ type kind =
 
 val kind : t -> kind
 val kind_count : int
+
+val ordering_critical : t -> bool
+(** Protocol-critical for delivery ordering: [JoinWait]/[JoinNoti] traffic
+    and their replies, [SpeNoti] forwarding, [InSysNoti] status flips and
+    [RvNghNoti] repair/reverse-neighbor notifications. The copy-phase
+    request/reply pair ([CpRst]/[CpRly]) is a joiner-private sequential
+    chain and is excluded. Targeted adversarial schedulers reorder only the
+    critical messages. *)
+
 val kind_index : kind -> int
 val kind_name : kind -> string
 val pp_kind : kind Fmt.t

@@ -23,9 +23,14 @@ type pending = {
   mutable timer : Engine.handle option;
 }
 
+(* One frame on the simulated wire, as seen by the scheduler hook: a protocol
+   message, or a transport-level ack (which carries no Message.t). *)
+type wire = Protocol of Message.t | Ack
+
 type t = {
   params : Ntcu_id.Params.t;
   node_config : Node.config;
+  fault : Node.fault option; (* test-only protocol bug, applied to every node *)
   engine : Engine.t;
   latency : Latency.t;
   nodes : Node.t Id.Tbl.t;
@@ -49,10 +54,15 @@ type t = {
   mutable suspicion_handler : (reporter:Id.t -> suspect:Id.t -> unit) option;
   mutable acks_sent : int;
   mutable acks_lost : int;
+  (* Adversarial-scheduler hook: rewrites the sampled delay of each frame put
+     on the wire. [wire_seq] numbers the hook's calls, giving schedulers a
+     stable, deterministic key per scheduling decision (replayable repros). *)
+  mutable delay_hook : (wire:wire -> src:Id.t -> dst:Id.t -> seq:int -> float -> float) option;
+  mutable wire_seq : int;
 }
 
 let create ?latency ?(size_mode = Message.Full) ?(record_trace = false) ?loss ?reliability
-    params =
+    ?fault params =
   let latency = match latency with Some l -> l | None -> Latency.constant 1.0 in
   let loss =
     match loss with
@@ -75,6 +85,7 @@ let create ?latency ?(size_mode = Message.Full) ?(record_trace = false) ?loss ?r
   {
     params;
     node_config = { Node.params; size_mode };
+    fault;
     engine = Engine.create ();
     latency;
     nodes = Id.Tbl.create 1024;
@@ -96,6 +107,8 @@ let create ?latency ?(size_mode = Message.Full) ?(record_trace = false) ?loss ?r
     suspicion_handler = None;
     acks_sent = 0;
     acks_lost = 0;
+    delay_hook = None;
+    wire_seq = 0;
   }
 
 let params t = t.params
@@ -136,6 +149,21 @@ let delay_between t ~src ~dst =
   let delay = Latency.sample t.latency ~src:(host t src) ~dst:(host t dst) in
   if delay <= 0. then Latency.min_delay else delay
 
+let set_delay_hook t hook = t.delay_hook <- hook
+
+(* Delay for one frame actually scheduled on the wire. The hook is consulted
+   (and [wire_seq] advanced) only for scheduled frames, so a run replayed with
+   identical seeds consults it in an identical sequence. *)
+let wire_delay t ~wire ~src ~dst =
+  let delay = delay_between t ~src ~dst in
+  match t.delay_hook with
+  | None -> delay
+  | Some f ->
+    let seq = t.wire_seq in
+    t.wire_seq <- seq + 1;
+    let d = f ~wire ~src ~dst ~seq delay in
+    if d <= 0. then Latency.min_delay else d
+
 let rec send t ~src ~dst msg =
   if Id.equal src dst then
     invalid_arg (Fmt.str "Network.send: %a sending %a to itself" Id.pp src Message.pp msg);
@@ -148,8 +176,8 @@ let rec send t ~src ~dst msg =
   | None ->
     if draw_loss t then t.lost <- t.lost + 1
     else
-      Engine.schedule t.engine ~delay:(delay_between t ~src ~dst) (fun () ->
-          deliver t ~src ~dst ~bytes msg)
+      Engine.schedule t.engine ~delay:(wire_delay t ~wire:(Protocol msg) ~src ~dst)
+        (fun () -> deliver t ~src ~dst ~bytes msg)
   | Some _ ->
     let seq = t.next_seq in
     t.next_seq <- seq + 1;
@@ -165,8 +193,9 @@ and transmit t seq p =
   let r, rng = match t.rel with Some x -> x | None -> assert false in
   if draw_loss t then t.lost <- t.lost + 1
   else
-    Engine.schedule t.engine ~delay:(delay_between t ~src:p.p_src ~dst:p.p_dst) (fun () ->
-        deliver_reliable t seq p);
+    Engine.schedule t.engine
+      ~delay:(wire_delay t ~wire:(Protocol p.p_msg) ~src:p.p_src ~dst:p.p_dst)
+      (fun () -> deliver_reliable t seq p);
   let timeout =
     r.rto
     *. (r.backoff ** float_of_int p.attempt)
@@ -186,7 +215,8 @@ and deliver_reliable t seq p =
     t.acks_sent <- t.acks_sent + 1;
     if draw_loss t then t.acks_lost <- t.acks_lost + 1
     else
-      Engine.schedule t.engine ~delay:(delay_between t ~src:p.p_dst ~dst:p.p_src)
+      Engine.schedule t.engine
+        ~delay:(wire_delay t ~wire:Ack ~src:p.p_dst ~dst:p.p_src)
         (fun () -> on_ack t seq);
     if Hashtbl.mem t.seen seq then begin
       Stats.record_duplicate (Node.stats receiver);
@@ -268,7 +298,10 @@ and deliver_live t ~src ~dst ~bytes receiver msg =
 let inject t ~src actions =
   List.iter (fun { Node.dst = d; msg = m } -> send t ~src ~dst:d m) actions
 
-let add_seed_node t id = register t (Node.create_seed t.node_config id)
+let add_seed_node t id =
+  let node = Node.create_seed t.node_config id in
+  Node.set_fault node t.fault;
+  register t node
 
 (* Map from suffix to the members carrying it, for consistent seeding. *)
 let suffix_members ids =
@@ -326,6 +359,7 @@ let start_join t ?at ~id ~gateway () =
     invalid_arg (Fmt.str "Network.start_join: %a already present" Id.pp id);
   ignore (node_exn t gateway);
   let joiner = Node.create_joiner t.node_config id in
+  Node.set_fault joiner t.fault;
   register t joiner;
   let time = match at with Some time -> time | None -> Engine.now t.engine in
   Engine.schedule_at t.engine ~time (fun () ->

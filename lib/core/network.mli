@@ -27,6 +27,7 @@ val create :
   ?record_trace:bool ->
   ?loss:float * int ->
   ?reliability:reliability ->
+  ?fault:Node.fault ->
   Ntcu_id.Params.t ->
   t
 (** Default latency: constant 1.0 ms. Default size mode: [Full].
@@ -42,7 +43,12 @@ val create :
     and suppresses duplicates; the sender retransmits with exponential
     backoff until acked, and after [max_retries] unanswered copies suspects
     the peer ({!Node.on_suspect} + the {!set_suspicion_handler} hook).
-    Default: messages are fire-and-forget as in the paper. *)
+    Default: messages are fire-and-forget as in the paper.
+
+    [fault] installs a test-only protocol bug ({!Node.fault}) on every node
+    the network creates, seeds and joiners alike. Used by the schedule
+    exploration harness to prove it can detect schedule-dependent bugs.
+    Default: none. *)
 
 val params : t -> Ntcu_id.Params.t
 val engine : t -> Ntcu_sim.Engine.t
@@ -122,6 +128,26 @@ val is_suspected : t -> Ntcu_id.Id.t -> bool
 
 val acks_sent : t -> int
 val acks_lost : t -> int
+
+(** {1 Adversarial scheduling} *)
+
+(** One frame put on the simulated wire, as seen by the delay hook: a
+    protocol message, or a transport-level ack (reliable mode only). *)
+type wire = Protocol of Message.t | Ack
+
+val set_delay_hook :
+  t ->
+  (wire:wire -> src:Ntcu_id.Id.t -> dst:Ntcu_id.Id.t -> seq:int -> float -> float) option ->
+  unit
+(** Install (or clear) a hook that rewrites the sampled latency of every
+    frame actually scheduled on the wire (frames dropped by the loss model
+    are not seen). The hook receives the sampled delay last and returns the
+    delay to use; non-positive results are clamped to
+    {!Ntcu_sim.Latency.min_delay}. [seq] numbers hook invocations from 0 in
+    scheduling order — because the simulation is deterministic, the same
+    seeds yield the same sequence, so a scheduler keyed on [seq] is exactly
+    replayable. Adversarial schedulers (random permuters, PCT-style priority
+    schedulers, targeted reorderers) are built on this single hook. *)
 
 val stuck_joiners : t -> Node.t list
 (** Joiners that never reached [in_system] (possible only when an assumption

@@ -16,6 +16,20 @@ type config = { params : Ntcu_id.Params.t; size_mode : Message.size_mode }
 
 type action = { dst : Id.t; msg : Message.t }
 
+(* Test-only protocol mutations for the schedule-exploration harness: each
+   reintroduces a plausible ordering bug (the kind Figure 13's careful
+   bookkeeping exists to prevent) whose trigger window only opens under
+   particular message interleavings. Production paths never set these. *)
+type fault =
+  | Drop_queued_join_waits
+      (* Switch_To_S_Node forgets Q_j: JoinWaitMsgs that arrived while the
+         node was still joining are silently discarded instead of answered. *)
+  | Forget_negative_forward
+      (* A waiting node that receives a negative JoinWaitRlyMsg does not
+         forward its JoinWaitMsg to the named occupant — it just keeps
+         waiting. Only dependent joins racing for one entry open the
+         window. *)
+
 type t = {
   config : config;
   id : Id.t;
@@ -36,6 +50,7 @@ type t = {
   mutable copy_from : Id.t option; (* the node whose table we are copying *)
   mutable t_begin : float option;
   mutable t_end : float option;
+  mutable fault : fault option; (* injected bug, exploration tests only *)
 }
 
 let make config id ~joiner ~status =
@@ -58,6 +73,7 @@ let make config id ~joiner ~status =
     copy_from = None;
     t_begin = None;
     t_end = None;
+    fault = None;
   }
 
 let create_seed config id =
@@ -79,6 +95,7 @@ let pending_replies t = Id.Set.cardinal t.q_r + Id.Set.cardinal t.q_sr
 let queued_join_waits t = List.length t.q_j
 let suspects t = t.suspects
 let is_suspect t u = Id.Set.mem u t.suspects
+let set_fault t f = t.fault <- f
 
 let digit_of _t other level = Id.digit other level
 
@@ -153,6 +170,8 @@ let switch_to_s_node t ~now acts =
       (Table.all_reverse t.table) acts
   in
   let acts =
+    if t.fault = Some Drop_queued_join_waits then acts
+    else
     List.fold_left
       (fun acc u ->
         let k = csuf t u in
@@ -375,6 +394,7 @@ let on_join_wait_rly t ~now ~src sign occupant snapshot =
         (* The replier named an occupant we already suspect is dead (it has
            not learned yet); fail over to a live contact directly. *)
         rewait t []
+      else if t.fault = Some Forget_negative_forward then []
       else begin
         t.q_n <- Id.Set.add occupant t.q_n;
         t.q_r <- Id.Set.add occupant t.q_r;

@@ -73,6 +73,25 @@ val handle : t -> now:float -> src:Ntcu_id.Id.t -> Message.t -> action list
     [SpeNotiMsg]s. Suspects are remembered so stale snapshots cannot
     re-introduce them. *)
 
+(** {1 Fault injection (tests only)}
+
+    The schedule-exploration harness needs a known, schedule-dependent
+    protocol bug to prove it can find one. Each [fault] removes one piece of
+    bookkeeping the protocol needs only under particular interleavings, so
+    an episode with the fault enabled is correct on most schedules and
+    violates consistency or liveness on the rest. Never set outside tests. *)
+
+type fault =
+  | Drop_queued_join_waits
+      (** [Switch_To_S_Node] discards the deferred [JoinWaitMsg] queue [Q_j]
+          instead of answering it — only wrong when a [JoinWaitMsg] arrived
+          during the sender's own join window. *)
+  | Forget_negative_forward
+      (** A negative [JoinWaitRlyMsg] does not re-target the named occupant —
+          only wrong when two dependent joiners race for the same entry. *)
+
+val set_fault : t -> fault option -> unit
+
 val on_suspect :
   t -> now:float -> peer:Ntcu_id.Id.t -> failed:Message.t option -> action list
 (** [on_suspect t ~now ~peer ~failed] reports [peer] as crashed. [failed] is

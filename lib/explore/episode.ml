@@ -1,0 +1,161 @@
+module Id = Ntcu_id.Id
+module Params = Ntcu_id.Params
+module Rng = Ntcu_std.Rng
+module Engine = Ntcu_sim.Engine
+module Latency = Ntcu_sim.Latency
+module Trace = Ntcu_sim.Trace
+module Network = Ntcu_core.Network
+module Node = Ntcu_core.Node
+module Workload = Ntcu_harness.Workload
+
+type scenario = Concurrent | Dependent | Fault
+
+let scenario_name = function
+  | Concurrent -> "concurrent"
+  | Dependent -> "dependent"
+  | Fault -> "fault"
+
+let scenario_of_name = function
+  | "concurrent" -> Some Concurrent
+  | "dependent" -> Some Dependent
+  | "fault" -> Some Fault
+  | _ -> None
+
+type config = {
+  scenario : scenario;
+  b : int;
+  d : int;
+  n : int;
+  m : int;
+  seed : int;
+  sched_seed : int;
+  scheduler : Scheduler.kind;
+  fault : Node.fault option;
+  midflight : bool;
+}
+
+let fault_name = function
+  | Node.Drop_queued_join_waits -> "drop-queued-join-waits"
+  | Node.Forget_negative_forward -> "forget-negative-forward"
+
+let fault_of_name = function
+  | "drop-queued-join-waits" -> Some Node.Drop_queued_join_waits
+  | "forget-negative-forward" -> Some Node.Forget_negative_forward
+  | _ -> None
+
+let pp_config ppf c =
+  Fmt.pf ppf "%s b=%d d=%d n=%d m=%d seed=%d sched=%s/%d%a" (scenario_name c.scenario)
+    c.b c.d c.n c.m c.seed
+    (Scheduler.kind_name c.scheduler)
+    c.sched_seed
+    (Fmt.option (fun ppf f -> Fmt.pf ppf " fault=%s" (fault_name f)))
+    c.fault
+
+type outcome = {
+  config : config;
+  violations : Invariants.violation list;
+  interventions : Scheduler.intervention list;
+  frames : int;
+  events : int;
+  digest : string;
+}
+
+exception Midflight of Invariants.violation
+
+(* Constants of the Fault scenario, mirroring Experiment.fault_injection. *)
+let loss_probability = 0.02
+let crash_fraction = 0.05
+let crash_at = 150.
+
+let run config =
+  let p = Params.make ~b:config.b ~d:config.d in
+  let rng = Rng.create config.seed in
+  let seeds = Workload.distinct_ids rng p ~n:config.n in
+  let suffix = match config.scenario with Dependent -> [| 2 |] | _ -> [||] in
+  let joiners =
+    Workload.distinct_ids ~suffix ~avoid:(Id.Set.of_list seeds) rng p ~n:config.m
+  in
+  let latency = Latency.uniform ~seed:(config.seed + 1) ~lo:1. ~hi:100. in
+  let loss, reliability, repairable =
+    match config.scenario with
+    | Concurrent | Dependent -> (None, None, false)
+    | Fault ->
+      ( Some (loss_probability, config.seed + 3),
+        Some
+          {
+            Network.default_reliability with
+            rto = 250.;
+            (* clears a full round trip of the 1-100ms latency draw *)
+            seed = config.seed + 4;
+          },
+        true )
+  in
+  let net =
+    Network.create ~latency ~record_trace:true ?loss ?reliability ?fault:config.fault p
+  in
+  let repair = if repairable then Some (Ntcu_extensions.Online_repair.attach net) else None
+  in
+  ignore repair;
+  let sched = Scheduler.make ~seed:config.sched_seed config.scheduler in
+  Network.set_delay_hook net (Some (Scheduler.hook sched));
+  Network.seed_consistent net ~seed:(config.seed + 2) seeds;
+  let gateways = Array.of_list seeds in
+  let used_gateways = ref Id.Set.empty in
+  List.iter
+    (fun id ->
+      let gw = Rng.pick rng gateways in
+      used_gateways := Id.Set.add gw !used_gateways;
+      Network.start_join net ~at:0. ~id ~gateway:gw ())
+    joiners;
+  let crashed =
+    match config.scenario with
+    | Concurrent | Dependent -> []
+    | Fault ->
+      (* Victims come from the seeds no joiner uses as gateway: a dead
+         gateway violates assumption (ii), which even the defended protocol
+         cannot survive. *)
+      let candidates =
+        Array.of_list (List.filter (fun id -> not (Id.Set.mem id !used_gateways)) seeds)
+      in
+      let crash_rng = Rng.create (config.seed + 5) in
+      Rng.shuffle crash_rng candidates;
+      let count = max 1 (int_of_float (crash_fraction *. float_of_int config.n)) in
+      let count = min count (Array.length candidates) in
+      let victims = Array.to_list (Array.sub candidates 0 count) in
+      Engine.schedule_at (Network.engine net) ~time:crash_at (fun () ->
+          List.iter (fun id -> Network.fail net id) victims);
+      victims
+  in
+  let expect_budget = config.scenario <> Fault in
+  let expect_consistency = config.scenario <> Fault in
+  if config.midflight then begin
+    let monitor = Invariants.midflight ~expect_budget ~net ~joiners () in
+    Engine.set_observer (Network.engine net)
+      (Some
+         (fun () ->
+           match monitor () with Some v -> raise (Midflight v) | None -> ()))
+  end;
+  let caught =
+    try
+      Network.run net;
+      if crashed <> [] then Ntcu_harness.Experiment.detect_failures net ~crashed;
+      None
+    with Midflight v -> Some v
+  in
+  let violations =
+    match caught with
+    | Some v -> [ v ]
+    | None ->
+      Invariants.quiescent ~expect_budget ~expect_consistency ~net ~seeds ~joiners ()
+  in
+  let digest =
+    match Network.trace net with Some tr -> Trace.digest tr | None -> assert false
+  in
+  {
+    config;
+    violations;
+    interventions = Scheduler.recorded sched;
+    frames = Scheduler.frames_seen sched;
+    events = Network.messages_delivered net;
+    digest;
+  }

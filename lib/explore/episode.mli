@@ -1,0 +1,56 @@
+(** One exploration episode: a seeded workload run under an adversarial
+    scheduler, judged by the invariant monitors.
+
+    Everything an episode does is a deterministic function of its {!config}
+    — workload, latencies, crash set, scheduler decisions and checks all
+    derive from the config's seeds — so an episode that violates an
+    invariant can be re-run bit-identically from the config alone, which is
+    what shrinking and repro replay rely on. *)
+
+type scenario =
+  | Concurrent  (** [m] independent joins into an [n]-node network, all at t=0. *)
+  | Dependent
+      (** Joiner IDs share a suffix — a maximally dependent C-set workload,
+          the hardest case of the Section 5 proof. *)
+  | Fault
+      (** Message loss + mid-join crashes under the reliable transport and
+          online repair (the PR-1 reliability stack); checks that the
+          defended protocol still converges. *)
+
+val scenario_name : scenario -> string
+val scenario_of_name : string -> scenario option
+
+val fault_name : Ntcu_core.Node.fault -> string
+val fault_of_name : string -> Ntcu_core.Node.fault option
+
+type config = {
+  scenario : scenario;
+  b : int;  (** Digit base of the ID space. *)
+  d : int;  (** Number of digits. *)
+  n : int;  (** Initial network size. *)
+  m : int;  (** Joiners. *)
+  seed : int;  (** Workload seed (population, latencies, gateways, crashes). *)
+  sched_seed : int;  (** Scheduler seed. *)
+  scheduler : Scheduler.kind;
+  fault : Ntcu_core.Node.fault option;
+      (** Test-only injected protocol bug ({!Ntcu_core.Node.fault}). *)
+  midflight : bool;  (** Also run the mid-flight monitors during the run. *)
+}
+
+val pp_config : config Fmt.t
+
+type outcome = {
+  config : config;
+  violations : Invariants.violation list;
+      (** Empty iff the episode passed. A mid-flight catch aborts the run
+          and is the sole entry. *)
+  interventions : Scheduler.intervention list;
+      (** The schedule perturbations actually applied, in frame order. *)
+  frames : int;  (** Wire frames scheduled (delay-hook consultations). *)
+  events : int;  (** Messages delivered. *)
+  digest : string;  (** {!Ntcu_sim.Trace.digest} of the delivery trace. *)
+}
+
+val run : config -> outcome
+(** Execute the episode. Never raises on an invariant violation — failures
+    are reported in [violations]. *)

@@ -1,0 +1,60 @@
+(** The exploration driver: a budgeted, parallel hunt for schedule-dependent
+    consistency violations.
+
+    [run] fans a grid of seeded episodes (scenario x scheduler x seed) over
+    a {!Ntcu_std.Parallel} domain pool, then — serially, in submission
+    order — delta-debugs every violating episode to a minimal intervention
+    list, builds a replayable {!Repro.t} and verifies the replay. The report
+    is a pure function of the settings: same settings, same report,
+    regardless of [jobs]. *)
+
+type settings = {
+  base_seed : int;
+  budget : int;  (** Episodes per (scenario, scheduler) pair. *)
+  scenarios : Episode.scenario list;
+  schedulers : Scheduler.kind list;
+  n : int;
+  m : int;
+  b : int;
+  d : int;
+  fault : Ntcu_core.Node.fault option;  (** Injected test-only protocol bug. *)
+  midflight : bool;
+  jobs : int;
+  max_shrinks : int;
+      (** Shrink and replay at most this many violations (shrinking re-runs
+          episodes many times); the rest are still reported as found. *)
+}
+
+val default_settings : settings
+(** 8 episodes per pair, all three scenarios, all three adversarial
+    schedulers, n = 24, m = 10, b = 4, d = 6, no fault, mid-flight on,
+    serial, at most 3 shrinks. *)
+
+val smoke_settings : settings
+(** A CI-sized subset: 2 episodes per pair, [Concurrent] and [Dependent]
+    only, n = 12, m = 6. *)
+
+type found = {
+  outcome : Episode.outcome;  (** The original violating episode. *)
+  shrunk : (Scheduler.intervention list * Episode.outcome * int) option;
+      (** [(minimal interventions, outcome under them, ddmin probes)];
+          [None] when the shrink budget was exhausted. *)
+  repro : Repro.t option;  (** Replayable counterexample, when shrunk. *)
+  replay_ok : bool;  (** The repro was replayed and reproduced exactly. *)
+}
+
+type report = {
+  settings : settings;
+  episodes : int;  (** Total episodes executed (excluding shrink probes). *)
+  failures : int;  (** Episodes with at least one violation. *)
+  found : found list;  (** One entry per failing episode, in grid order. *)
+}
+
+val run : settings -> report
+
+val report_json : report -> Ntcu_harness.Report.Json.t
+(** Machine-readable report. Contains no timing, so it is byte-identical
+    across hosts and [--jobs] values. *)
+
+val pp_report : report Fmt.t
+(** Human-readable summary. *)

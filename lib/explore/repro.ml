@@ -1,0 +1,161 @@
+type t = {
+  config : Episode.config;
+  found_by : string;
+  violation : Invariants.violation;
+  digest : string;
+}
+
+let magic = "ntcu-explore-repro v1"
+
+let interventions_of_config (c : Episode.config) =
+  match c.scheduler with
+  | Scheduler.Fixed is -> is
+  | _ -> invalid_arg "Repro: config.scheduler must be Fixed"
+
+let to_string t =
+  let c = t.config in
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "%s" magic;
+  line "scenario %s" (Episode.scenario_name c.scenario);
+  line "b %d" c.b;
+  line "d %d" c.d;
+  line "n %d" c.n;
+  line "m %d" c.m;
+  line "seed %d" c.seed;
+  line "sched_seed %d" c.sched_seed;
+  line "midflight %b" c.midflight;
+  (match c.fault with
+  | Some f -> line "fault %s" (Episode.fault_name f)
+  | None -> ());
+  line "found_by %s" t.found_by;
+  line "violation %s" t.violation.Invariants.name;
+  (* [String.escaped] keeps the line single-line and 7-bit clean. *)
+  line "detail %s" (String.escaped t.violation.Invariants.detail);
+  line "digest %s" t.digest;
+  List.iter
+    (* %h floats round-trip exactly through float_of_string. *)
+    (fun (i : Scheduler.intervention) -> line "intervention %d %h" i.seq i.factor)
+    (interventions_of_config c);
+  Buffer.contents buf
+
+let ( let* ) = Result.bind
+
+let of_string s =
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' s)
+  in
+  let split line =
+    match String.index_opt line ' ' with
+    | None -> (line, "")
+    | Some i -> (String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1))
+  in
+  match lines with
+  | [] -> Error "empty repro"
+  | first :: rest when first = magic ->
+    let field key =
+      match List.find_opt (fun l -> fst (split l) = key) rest with
+      | Some l -> Ok (snd (split l))
+      | None -> Error (Printf.sprintf "repro: missing field %S" key)
+    in
+    let int_field key =
+      let* v = field key in
+      match int_of_string_opt v with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "repro: field %S is not an integer: %S" key v)
+    in
+    let* scenario_s = field "scenario" in
+    let* scenario =
+      match Episode.scenario_of_name scenario_s with
+      | Some s -> Ok s
+      | None -> Error (Printf.sprintf "repro: unknown scenario %S" scenario_s)
+    in
+    let* b = int_field "b" in
+    let* d = int_field "d" in
+    let* n = int_field "n" in
+    let* m = int_field "m" in
+    let* seed = int_field "seed" in
+    let* sched_seed = int_field "sched_seed" in
+    let* midflight_s = field "midflight" in
+    let* midflight =
+      match bool_of_string_opt midflight_s with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "repro: bad midflight %S" midflight_s)
+    in
+    let* fault =
+      match field "fault" with
+      | Error _ -> Ok None
+      | Ok name -> (
+        match Episode.fault_of_name name with
+        | Some f -> Ok (Some f)
+        | None -> Error (Printf.sprintf "repro: unknown fault %S" name))
+    in
+    let* found_by = field "found_by" in
+    let* name = field "violation" in
+    let* detail_escaped = field "detail" in
+    let* detail =
+      match Scanf.unescaped detail_escaped with
+      | v -> Ok v
+      | exception Scanf.Scan_failure _ ->
+        Error (Printf.sprintf "repro: undecodable detail %S" detail_escaped)
+    in
+    let* digest = field "digest" in
+    let* interventions =
+      List.fold_left
+        (fun acc line ->
+          let* acc = acc in
+          match split line with
+          | "intervention", v -> (
+            match String.split_on_char ' ' v with
+            | [ seq_s; factor_s ] -> (
+              match (int_of_string_opt seq_s, float_of_string_opt factor_s) with
+              | Some seq, Some factor -> Ok ({ Scheduler.seq; factor } :: acc)
+              | _ -> Error (Printf.sprintf "repro: bad intervention line %S" line))
+            | _ -> Error (Printf.sprintf "repro: bad intervention line %S" line))
+          | _ -> Ok acc)
+        (Ok []) rest
+    in
+    let interventions = List.rev interventions in
+    Ok
+      {
+        config =
+          {
+            Episode.scenario;
+            b;
+            d;
+            n;
+            m;
+            seed;
+            sched_seed;
+            scheduler = Scheduler.Fixed interventions;
+            fault;
+            midflight;
+          };
+        found_by;
+        violation = { Invariants.name; detail };
+        digest;
+      }
+  | first :: _ -> Error (Printf.sprintf "repro: bad header %S" first)
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (to_string t))
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | s -> of_string s
+  | exception Sys_error e -> Error e
+
+type replay_result = { repro : t; outcome : Episode.outcome; reproduced : bool }
+
+let replay t =
+  let outcome = Episode.run t.config in
+  let expected = Invariants.signature t.violation in
+  let reproduced =
+    outcome.Episode.digest = t.digest
+    && List.exists
+         (fun v -> Invariants.signature v = expected)
+         outcome.Episode.violations
+  in
+  { repro = t; outcome; reproduced }

@@ -1,0 +1,35 @@
+(** Replayable counterexample files.
+
+    A repro captures everything needed to re-execute a violating episode
+    bit-identically: the episode config (with the minimized intervention
+    list as a {!Scheduler.Fixed} schedule), the violation it must yield and
+    the delivery-trace digest it must match. The format is line-based
+    [key value] text — the repo emits JSON but never parses it, and a repro
+    must be parsed back. *)
+
+type t = {
+  config : Episode.config;
+      (** [config.scheduler] is [Fixed minimal] — the shrunk schedule. *)
+  found_by : string;  (** Name of the scheduler that found the violation. *)
+  violation : Invariants.violation;  (** What the episode must reproduce. *)
+  digest : string;  (** Expected delivery-trace digest. *)
+}
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+
+val save : string -> t -> unit
+(** Write to a file path. *)
+
+val load : string -> (t, string) result
+(** Read from a file path; [Error] on unreadable file or malformed content. *)
+
+type replay_result = {
+  repro : t;
+  outcome : Episode.outcome;
+  reproduced : bool;
+      (** The replayed episode yielded a violation with the exact recorded
+          signature {e and} the exact recorded trace digest. *)
+}
+
+val replay : t -> replay_result

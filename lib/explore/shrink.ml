@@ -1,0 +1,88 @@
+(* Zeller & Hildebrandt, "Simplifying and Isolating Failure-Inducing Input"
+   (TSE 2002), algorithm ddmin — over schedule interventions instead of
+   program input. *)
+
+let split_chunks n l =
+  let len = List.length l in
+  let base = len / n and extra = len mod n in
+  let rec go i rest acc =
+    if i = n then List.rev acc
+    else begin
+      let size = base + if i < extra then 1 else 0 in
+      let rec take k xs taken =
+        if k = 0 then (List.rev taken, xs)
+        else
+          match xs with
+          | [] -> (List.rev taken, [])
+          | x :: xs -> take (k - 1) xs (x :: taken)
+      in
+      let chunk, rest = take size rest [] in
+      go (i + 1) rest (chunk :: acc)
+    end
+  in
+  go 0 l []
+
+let ddmin ~test cs =
+  let probes = ref 0 in
+  let test cs =
+    incr probes;
+    test cs
+  in
+  if test [] then ([], !probes)
+  else begin
+    let rec go cs n =
+      if List.length cs <= 1 then cs
+      else begin
+        let chunks = split_chunks n cs in
+        let try_subsets () =
+          List.find_opt (fun chunk -> chunk <> [] && test chunk) chunks
+        in
+        let try_complements () =
+          let rec loop i =
+            if i >= List.length chunks then None
+            else begin
+              let complement =
+                List.concat (List.filteri (fun j _ -> j <> i) chunks)
+              in
+              if complement <> [] && List.length complement < List.length cs
+                 && test complement
+              then Some complement
+              else loop (i + 1)
+            end
+          in
+          loop 0
+        in
+        match try_subsets () with
+        | Some chunk -> go chunk 2
+        | None -> (
+          match try_complements () with
+          | Some complement -> go complement (max (n - 1) 2)
+          | None ->
+            if n < List.length cs then go cs (min (2 * n) (List.length cs)) else cs)
+      end
+    in
+    (* bind before pairing: tuple components evaluate right-to-left, which
+       would read the probe counter before [go] runs *)
+    let minimal = go cs 2 in
+    (minimal, !probes)
+  end
+
+let reproduces ~config ~name interventions =
+  let outcome =
+    Episode.run { config with Episode.scheduler = Scheduler.Fixed interventions }
+  in
+  List.exists (fun (v : Invariants.violation) -> v.name = name) outcome.violations
+
+let shrink_outcome (outcome : Episode.outcome) =
+  match outcome.violations with
+  | [] -> None
+  | first :: _ ->
+    let config = outcome.config in
+    let name = first.Invariants.name in
+    let minimal, probes =
+      ddmin ~test:(reproduces ~config ~name) outcome.interventions
+    in
+    let final =
+      Episode.run { config with Episode.scheduler = Scheduler.Fixed minimal }
+    in
+    Some (minimal, final, probes)

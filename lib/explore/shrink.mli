@@ -1,0 +1,24 @@
+(** Delta debugging (Zeller & Hildebrandt's ddmin) over intervention lists.
+
+    A violating episode records the full set of schedule perturbations that
+    were applied; usually only a handful of them matter. {!ddmin} finds a
+    1-minimal subset — removing any single chunk of the result makes the
+    failure vanish — by repeatedly re-running the episode under
+    {!Scheduler.Fixed} subsets. *)
+
+val ddmin : test:('a list -> bool) -> 'a list -> 'a list * int
+(** [ddmin ~test cs] assumes [test cs = true] ("the failure reproduces") and
+    returns [(minimal, probes)] where [minimal] is a 1-minimal sublist of
+    [cs] (order preserved) still satisfying [test], and [probes] counts the
+    [test] invocations spent. [test \[\]] may be true, in which case the
+    result is [\[\]] — the failure did not need any intervention. *)
+
+val shrink_outcome :
+  Episode.outcome -> (Scheduler.intervention list * Episode.outcome * int) option
+(** Shrink a violating outcome to a minimal intervention list: re-runs the
+    episode's config under [Fixed] subsets, counting a probe as a
+    reproduction when it yields a violation with the same [name] as the
+    original first violation. Returns [(minimal, outcome under minimal,
+    probe count)], or [None] if the outcome had no violation. The returned
+    outcome is the ground truth a repro file stores — deterministic, so
+    replaying [Fixed minimal] reproduces it bit-identically. *)

@@ -22,6 +22,8 @@ type join_run = {
 
 let consistent run = run.consistent
 
+let ok run = run.consistent && run.all_in_system && run.quiescent
+
 let finish ~t0 net seeds joiners =
   let stats_of id = Node.stats (Network.node_exn net id) in
   {

@@ -22,6 +22,11 @@ type join_run = {
 
 val consistent : join_run -> bool
 
+val ok : join_run -> bool
+(** [consistent && all_in_system && quiescent] — the full healthy-run
+    predicate. Bench sections that claim consistency gate their exit status
+    on this so a regression fails CI instead of just printing "NO". *)
+
 val concurrent_joins :
   ?latency:Ntcu_sim.Latency.t ->
   ?size_mode:Ntcu_core.Message.size_mode ->

@@ -3,6 +3,7 @@ type t = {
   queue : (unit -> unit) Ntcu_std.Pqueue.t;
   mutable processed : int;
   mutable cancelled_count : int;
+  mutable observer : (unit -> unit) option;
   owner : Domain.id; (* creating domain; mutation from any other raises *)
 }
 
@@ -12,6 +13,7 @@ let create () =
     queue = Ntcu_std.Pqueue.create ();
     processed = 0;
     cancelled_count = 0;
+    observer = None;
     owner = Domain.self ();
   }
 
@@ -64,6 +66,10 @@ let events_processed t = t.processed
 
 let events_cancelled t = t.cancelled_count
 
+let set_observer t obs =
+  check_owner t "set_observer";
+  t.observer <- obs
+
 let step t =
   check_owner t "step";
   match Ntcu_std.Pqueue.pop t.queue with
@@ -72,6 +78,7 @@ let step t =
     t.clock <- time;
     t.processed <- t.processed + 1;
     f ();
+    (match t.observer with Some obs -> obs () | None -> ());
     true
 
 let run ?(max_events = 100_000_000) t =

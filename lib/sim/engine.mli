@@ -55,6 +55,14 @@ val events_cancelled : t -> int
 (** Number of timers that were cancelled while still queued (diagnostics for
     the retransmission layer). *)
 
+val set_observer : t -> (unit -> unit) option -> unit
+(** Install (or clear) a hook called after every fired event, with the clock
+    already advanced to the event's timestamp. Invariant monitors attach here
+    to watch a run mid-flight (e.g. the schedule-exploration harness checking
+    per-step protocol invariants). The observer must not mutate the engine;
+    scheduling new events from inside it would perturb the very schedule
+    being observed. *)
+
 val step : t -> bool
 (** Fire the next event. Returns [false] when the queue is empty. *)
 

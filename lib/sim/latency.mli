@@ -27,5 +27,13 @@ val of_distance : ?jitter:float -> ?seed:int -> (src:int -> dst:int -> float) ->
     optional multiplicative jitter: the delay is scaled by a factor uniform in
     [\[1, 1 +. jitter)]. [seed] defaults to [0]; [jitter] to [0.]. *)
 
+val perturbed : t -> f:(src:int -> dst:int -> float -> float) -> t
+(** [perturbed base ~f] samples [base] and passes the result through [f] —
+    the delay-perturbation hook used by adversarial schedulers to stretch,
+    shrink or permute message delays without touching the base model. A
+    non-positive result is clamped to {!min_delay}, so perturbation can never
+    stall virtual time. A stateful [f] (e.g. driven by a seeded RNG) is
+    sampled in network send order, which is deterministic. *)
+
 val sample : t -> src:int -> dst:int -> float
 (** Draw the delay for one message from [src] to [dst]. Always [> 0.]. *)

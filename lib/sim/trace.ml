@@ -21,6 +21,25 @@ let to_lines t = List.map (fun (time, label) -> Printf.sprintf "%h %s" time labe
 
 let digest t = Digest.to_hex (Digest.string (String.concat "\n" (to_lines t)))
 
+(* Inverse of [to_lines]. OCaml's float_of_string reads the %h hex-float form
+   exactly, so parsing recovers the bit pattern [to_lines] wrote — the
+   round-trip is lossless and [equal (of_lines (to_lines t)) t] holds. *)
+let of_lines lines =
+  let t = create () in
+  List.iter
+    (fun line ->
+      match String.index_opt line ' ' with
+      | None -> invalid_arg (Printf.sprintf "Trace.of_lines: malformed line %S" line)
+      | Some i ->
+        let time =
+          match float_of_string_opt (String.sub line 0 i) with
+          | Some f -> f
+          | None -> invalid_arg (Printf.sprintf "Trace.of_lines: bad timestamp in %S" line)
+        in
+        record t time (String.sub line (i + 1) (String.length line - i - 1)))
+    lines;
+  t
+
 let first_divergence a b =
   let rec go i la lb =
     match (la, lb) with

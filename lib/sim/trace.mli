@@ -26,6 +26,13 @@ val digest : t -> string
 (** Hex digest over {!to_lines} — a compact fingerprint for golden-trace
     regression fixtures. *)
 
+val of_lines : string list -> t
+(** Inverse of {!to_lines}: rebuild a trace from its canonical lines. The
+    [%h] timestamps parse back to the identical bit pattern, so
+    [equal (of_lines (to_lines t)) t] — the property that makes serialized
+    schedules (repro files) replayable without drift.
+    @raise Invalid_argument on a line without a parsable leading timestamp. *)
+
 val first_divergence : t -> t -> (int * string option * string option) option
 (** [first_divergence a b] is [None] when the traces agree, otherwise the
     0-based index of the first differing event with the canonical line from

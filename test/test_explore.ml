@@ -1,0 +1,211 @@
+(* The exploration layer's own guarantees: trace serialization round-trips
+   bit-identically (the foundation repro files stand on), episodes replay to
+   identical digests, the report is a pure function of the settings, and an
+   intentionally injected protocol bug is schedule-dependent — invisible to
+   the unperturbed scheduler, caught by an adversary, shrunk to a minimal
+   intervention list and replayed to the same violation. *)
+
+module Id = Ntcu_id.Id
+module Params = Ntcu_id.Params
+module Rng = Ntcu_std.Rng
+module Trace = Ntcu_sim.Trace
+module Latency = Ntcu_sim.Latency
+module Network = Ntcu_core.Network
+module Node = Ntcu_core.Node
+module Workload = Ntcu_harness.Workload
+module Scheduler = Ntcu_explore.Scheduler
+module Invariants = Ntcu_explore.Invariants
+module Episode = Ntcu_explore.Episode
+module Shrink = Ntcu_explore.Shrink
+module Repro = Ntcu_explore.Repro
+module Explore = Ntcu_explore.Explore
+
+let check = Alcotest.check
+
+(* ---- Trace round-trip (prerequisite for repro files) ---- *)
+
+let traced_run ~seed =
+  let p = Params.make ~b:4 ~d:4 in
+  let rng = Rng.create seed in
+  let seeds = Workload.distinct_ids rng p ~n:10 in
+  let joiners = Workload.distinct_ids ~avoid:(Id.Set.of_list seeds) rng p ~n:5 in
+  let net =
+    Network.create ~record_trace:true
+      ~latency:(Latency.uniform ~seed:(seed + 1) ~lo:1. ~hi:100.)
+      p
+  in
+  Network.seed_consistent net ~seed:(seed + 2) seeds;
+  List.iter
+    (fun id -> Network.start_join net ~id ~gateway:(List.hd seeds) ())
+    joiners;
+  Network.run net;
+  match Network.trace net with Some tr -> tr | None -> Alcotest.fail "no trace"
+
+let trace_roundtrip () =
+  List.iter
+    (fun seed ->
+      let tr = traced_run ~seed in
+      check Alcotest.bool "trace nonempty" true (Trace.length tr > 0);
+      let tr' = Trace.of_lines (Trace.to_lines tr) in
+      check Alcotest.bool "of_lines (to_lines t) = t" true (Trace.equal tr tr');
+      check Alcotest.string "digest survives" (Trace.digest tr) (Trace.digest tr');
+      check Alcotest.bool "no divergence" true
+        (Trace.first_divergence tr tr' = None))
+    [ 1; 2; 3 ]
+
+(* ---- Episodes: bit-identical reruns and replayable schedules ---- *)
+
+let smoke_config scheduler =
+  {
+    Episode.scenario = Episode.Dependent;
+    b = 4;
+    d = 6;
+    n = 12;
+    m = 6;
+    seed = 1;
+    sched_seed = 14;
+    scheduler;
+    fault = None;
+    midflight = true;
+  }
+
+let episode_rerun_identical () =
+  let config = smoke_config (Scheduler.Targeted { probability = 0.25; stretch = 32. }) in
+  let a = Episode.run config and b = Episode.run config in
+  check Alcotest.string "same digest" a.Episode.digest b.Episode.digest;
+  check Alcotest.int "same events" a.Episode.events b.Episode.events;
+  check Alcotest.int "same interventions"
+    (List.length a.Episode.interventions)
+    (List.length b.Episode.interventions)
+
+(* Replaying an adversarial run's recorded interventions as a Fixed schedule
+   reproduces the run exactly — the property that makes a shrunk intervention
+   list a faithful counterexample. *)
+let fixed_replay_identical () =
+  let config = smoke_config (Scheduler.Random_delay { scale = 16. }) in
+  let live = Episode.run config in
+  check Alcotest.bool "adversary intervened" true (live.Episode.interventions <> []);
+  let replay =
+    Episode.run
+      { config with Episode.scheduler = Scheduler.Fixed live.Episode.interventions }
+  in
+  check Alcotest.string "replay digest" live.Episode.digest replay.Episode.digest;
+  check Alcotest.int "replay events" live.Episode.events replay.Episode.events
+
+(* A perturbed latency model is itself deterministic: the same stateful
+   perturbation sampled twice over the same send sequence gives the same
+   delays. *)
+let perturbed_latency_deterministic () =
+  let sample_all seed =
+    let rng = Rng.create seed in
+    let base = Latency.uniform ~seed:7 ~lo:1. ~hi:100. in
+    let model =
+      Latency.perturbed base ~f:(fun ~src:_ ~dst:_ d -> d *. (0.5 +. Rng.float rng 2.))
+    in
+    List.init 200 (fun i -> Latency.sample model ~src:(i mod 5) ~dst:(i mod 7))
+  in
+  check (Alcotest.list (Alcotest.float 0.)) "same delays" (sample_all 3) (sample_all 3);
+  List.iter
+    (fun d -> check Alcotest.bool "positive" true (d >= Latency.min_delay))
+    (sample_all 4)
+
+(* ---- The full hunt: clean protocol, determinism, injected bug ---- *)
+
+let json_string r = Ntcu_harness.Report.Json.to_string (Explore.report_json r)
+
+let clean_smoke_finds_nothing () =
+  let report = Explore.run Explore.smoke_settings in
+  check Alcotest.int "episodes run" 12 report.Explore.episodes;
+  check Alcotest.int "no violations on the real protocol" 0 report.Explore.failures
+
+let report_deterministic_across_jobs () =
+  let settings =
+    { Explore.smoke_settings with Explore.fault = Some Node.Drop_queued_join_waits }
+  in
+  let serial = Explore.run { settings with Explore.jobs = 1 } in
+  let fanned = Explore.run { settings with Explore.jobs = 2 } in
+  check Alcotest.string "byte-identical report" (json_string serial) (json_string fanned)
+
+(* The injected bug drops JoinWaitMsgs a T-node queued while single-threaded
+   on another reply — a window only some interleavings open. The unperturbed
+   scheduler never opens it at smoke scale; the adversaries do. Found, it
+   must shrink and replay to the same violation. *)
+let injected_fault_schedule_dependent () =
+  let fault = Some Node.Drop_queued_join_waits in
+  let nop =
+    Explore.run
+      {
+        Explore.smoke_settings with
+        Explore.fault;
+        schedulers = [ Scheduler.Nop ];
+      }
+  in
+  check Alcotest.int "invisible to the unperturbed schedule" 0 nop.Explore.failures;
+  let report =
+    Explore.run { Explore.smoke_settings with Explore.fault = fault }
+  in
+  check Alcotest.bool "caught by an adversary" true (report.Explore.failures > 0);
+  let f =
+    match
+      List.find_opt (fun f -> f.Explore.shrunk <> None) report.Explore.found
+    with
+    | Some f -> f
+    | None -> Alcotest.fail "no violation was shrunk"
+  in
+  let minimal, final, probes =
+    match f.Explore.shrunk with Some s -> s | None -> assert false
+  in
+  check Alcotest.bool "shrunk to fewer interventions" true
+    (List.length minimal <= List.length f.Explore.outcome.Episode.interventions);
+  check Alcotest.bool "ddmin probed" true (probes > 0);
+  (* The minimal schedule still yields the same violation category. *)
+  let name (v : Invariants.violation) = v.Invariants.name in
+  (match (f.Explore.outcome.Episode.violations, final.Episode.violations) with
+  | v :: _, v' :: _ -> check Alcotest.string "same violation" (name v) (name v')
+  | _ -> Alcotest.fail "violations lost in shrinking");
+  check Alcotest.bool "replay reproduced" true f.Explore.replay_ok;
+  (* And the repro file round-trips through its text form. *)
+  match f.Explore.repro with
+  | None -> Alcotest.fail "no repro built"
+  | Some r -> (
+    let s = Repro.to_string r in
+    match Repro.of_string s with
+    | Error e -> Alcotest.failf "repro parse: %s" e
+    | Ok r' ->
+      check Alcotest.string "repro text round-trips" s (Repro.to_string r');
+      let replay = Repro.replay r' in
+      check Alcotest.bool "parsed repro reproduces" true replay.Repro.reproduced)
+
+(* ---- ddmin on a synthetic predicate: minimality and soundness ---- *)
+
+let ddmin_synthetic () =
+  (* Failure needs both 3 and 7: ddmin must isolate exactly that pair. *)
+  let test cs = List.mem 3 cs && List.mem 7 cs in
+  let minimal, probes = Shrink.ddmin ~test (List.init 10 Fun.id) in
+  check (Alcotest.list Alcotest.int) "exact pair" [ 3; 7 ]
+    (List.sort compare minimal);
+  check Alcotest.bool "probes counted" true (probes > 1);
+  (* Already-minimal input returns itself. *)
+  let m2, _ = Shrink.ddmin ~test:(fun cs -> cs = [ 42 ]) [ 42 ] in
+  check (Alcotest.list Alcotest.int) "singleton kept" [ 42 ] m2;
+  (* A predicate true on the empty list shrinks to nothing. *)
+  let m3, _ = Shrink.ddmin ~test:(fun _ -> true) [ 1; 2; 3 ] in
+  check (Alcotest.list Alcotest.int) "empty suffices" [] m3
+
+let suites =
+  [
+    ( "explore",
+      [
+        Alcotest.test_case "trace round-trip" `Quick trace_roundtrip;
+        Alcotest.test_case "episode rerun identical" `Quick episode_rerun_identical;
+        Alcotest.test_case "fixed replay identical" `Quick fixed_replay_identical;
+        Alcotest.test_case "perturbed latency deterministic" `Quick
+          perturbed_latency_deterministic;
+        Alcotest.test_case "clean smoke finds nothing" `Quick clean_smoke_finds_nothing;
+        Alcotest.test_case "report deterministic across jobs" `Quick
+          report_deterministic_across_jobs;
+        Alcotest.test_case "injected fault: caught, shrunk, replayed" `Quick
+          injected_fault_schedule_dependent;
+        Alcotest.test_case "ddmin synthetic" `Quick ddmin_synthetic;
+      ] );
+  ]

@@ -81,6 +81,71 @@ let leave_validation () =
   | Error _ -> Network.run run.net
   | Ok _ -> Alcotest.fail "mid-join leave accepted"
 
+(* The handoff contract from leave.mli: the leaver repairs exactly the nodes
+   that stored it (its reverse neighbors), each vacated entry is either
+   refilled with a suffix-correct substitute that gains the storer as a
+   reverse neighbor, or legitimately emptied, and no table references the
+   leaver afterwards. *)
+let leave_hands_off_entries () =
+  let run = build ~seed:11 ~n:25 ~m:15 in
+  let net = run.net in
+  (* Pick the most-stored node so the handoff actually has work to do. *)
+  let victim, storers =
+    List.fold_left
+      (fun (best, best_rev) node ->
+        let rev = Ntcu_table.Table.all_reverse (Node.table node) in
+        if Id.Set.cardinal rev > Id.Set.cardinal best_rev then (Node.id node, rev)
+        else (best, best_rev))
+      (List.hd (Network.ids net), Id.Set.empty)
+      (Network.nodes net)
+  in
+  check Alcotest.bool "victim is stored by someone" true (not (Id.Set.is_empty storers));
+  (* Every (storer, level, digit) slot that holds the victim right now. *)
+  let slots = ref [] in
+  List.iter
+    (fun node ->
+      Ntcu_table.Table.iter (Node.table node) (fun ~level ~digit y _ ->
+          if Id.equal y victim && not (Id.equal (Node.id node) victim) then
+            slots := (Node.id node, level, digit) :: !slots))
+    (Network.nodes net);
+  let storing_nodes =
+    List.sort_uniq Id.compare (List.map (fun (s, _, _) -> s) !slots)
+  in
+  (match Leave.leave net victim with
+  | Ok repaired ->
+    check Alcotest.int "repaired = nodes that stored the leaver"
+      (List.length storing_nodes) repaired
+  | Error e -> Alcotest.fail e);
+  (* No dangling references to the leaver, anywhere. *)
+  List.iter
+    (fun node ->
+      Ntcu_table.Table.iter (Node.table node) (fun ~level ~digit y _ ->
+          if Id.equal y victim then
+            Alcotest.failf "%a still stores the leaver at (%d,%d)" Id.pp
+              (Node.id node) level digit))
+    (Network.nodes net);
+  (* Each vacated slot was handed a suffix-correct substitute (or certified
+     empty — consistency, checked below, rules out a false negative), and the
+     substitute's reverse set learned about the storer. *)
+  List.iter
+    (fun (storer, level, digit) ->
+      match Network.node net storer with
+      | None -> ()
+      | Some snode -> (
+        let table = Node.table snode in
+        match Ntcu_table.Table.neighbor table ~level ~digit with
+        | None -> ()
+        | Some z ->
+          check Alcotest.bool "substitute has the required suffix" true
+            (Id.has_suffix z (Ntcu_table.Table.required_suffix table ~level ~digit));
+          let znode = Option.get (Network.node net z) in
+          check Alcotest.bool "substitute registered the storer" true
+            (Id.Set.mem storer
+               (Ntcu_table.Table.reverse_at (Node.table znode) ~level ~digit))))
+    !slots;
+  check Alcotest.int "consistent after handoff" 0
+    (List.length (Network.check_consistent net))
+
 let leave_many_wrapper () =
   let run = build ~seed:6 ~n:12 ~m:8 in
   let victims = Ntcu_harness.Workload.split 5 run.joiners |> fst in
@@ -123,6 +188,35 @@ let optimize_reduces_stretch () =
   if after > before +. 1e-9 then
     Alcotest.failf "stretch worsened: %.3f -> %.3f" before after
 
+(* Swapping an entry for a closer neighbor must keep the RvNghNoti
+   bookkeeping intact: after optimization every filled non-self entry is
+   still mirrored in the occupant's reverse-neighbor set — the invariant the
+   leave and repair layers navigate by. *)
+let optimize_preserves_reverse_registration () =
+  let run = build ~seed:12 ~n:30 ~m:20 in
+  let dist = line_dist run.net in
+  let improved = Optimize.optimize run.net ~dist in
+  check Alcotest.bool "improvements found" true (improved > 0);
+  List.iter
+    (fun node ->
+      let x = Node.id node in
+      Ntcu_table.Table.iter (Node.table node) (fun ~level ~digit y _ ->
+          if not (Id.equal x y) then
+            let ynode = Option.get (Network.node run.net y) in
+            if
+              not
+                (Id.Set.mem x
+                   (Ntcu_table.Table.reverse_at (Node.table ynode) ~level ~digit))
+            then
+              Alcotest.failf "%a stores %a at (%d,%d) without reverse registration"
+                Id.pp x Id.pp y level digit))
+    (Network.nodes run.net);
+  (* And the reverse sets still support a full leave afterwards. *)
+  let victim = List.hd run.joiners in
+  (match Leave.leave run.net victim with Ok _ -> () | Error e -> Alcotest.fail e);
+  check Alcotest.int "leave after optimize stays consistent" 0
+    (List.length (Network.check_consistent run.net))
+
 let optimize_never_self () =
   let run = build ~seed:10 ~n:20 ~m:10 in
   let dist = line_dist run.net in
@@ -148,6 +242,7 @@ let suites =
         Alcotest.test_case "drain to one" `Quick leave_down_to_one_node;
         Alcotest.test_case "leave then rejoin" `Quick leave_then_join_again;
         Alcotest.test_case "validation" `Quick leave_validation;
+        Alcotest.test_case "hands off entries" `Quick leave_hands_off_entries;
         Alcotest.test_case "leave_many" `Quick leave_many_wrapper;
       ] );
     ( "extensions.optimize",
@@ -155,6 +250,8 @@ let suites =
         Alcotest.test_case "preserves consistency" `Quick optimize_preserves_consistency;
         Alcotest.test_case "fixpoint" `Quick optimize_reaches_fixpoint;
         Alcotest.test_case "reduces stretch" `Quick optimize_reduces_stretch;
+        Alcotest.test_case "reverse registration kept" `Quick
+          optimize_preserves_reverse_registration;
         Alcotest.test_case "self entries kept" `Quick optimize_never_self;
       ] );
   ]

@@ -76,6 +76,23 @@ let paper_setups_shape () =
         (s.Experiment.m = 1000 && (s.n = 3096 || s.n = 7192) && (s.d = 8 || s.d = 40)))
     Experiment.paper_setups
 
+(* Regression for the bench/validate exit-status fix: [Experiment.ok] is the
+   full healthy-run predicate, and it must go false on a run that is
+   individually "consistent-looking" but left joiners wedged — exactly the
+   runs the bench previously reported with exit 0. *)
+let ok_predicate () =
+  let healthy = Experiment.concurrent_joins p ~seed:7 ~n:20 ~m:10 () in
+  check Alcotest.bool "healthy run is ok" true (Experiment.ok healthy);
+  check Alcotest.bool "ok implies consistent" true (Experiment.consistent healthy);
+  (* 20% loss with the reliable transport disabled wedges joiners: the run
+     must not count as ok even though completed nodes' tables may check out. *)
+  let wedged =
+    Experiment.fault_injection ~reliable:false ~loss:0.2 ~crash_fraction:0.
+      (Params.make ~b:4 ~d:5) ~seed:8 ~n:30 ~m:15 ()
+  in
+  check Alcotest.bool "some joiners wedged" true (wedged.Experiment.stuck > 0);
+  check Alcotest.bool "wedged run is not ok" false (Experiment.ok wedged.Experiment.run)
+
 let report_table_renders () =
   let s =
     Fmt.str "%a" (Report.table ~header:[ "a"; "b" ]) [ [ "1"; "2" ]; [ "333"; "4" ] ]
@@ -95,6 +112,7 @@ let suites =
         Alcotest.test_case "join-run report" `Quick join_run_reports;
         Alcotest.test_case "fig15b miniature" `Slow fig15b_small_setup;
         Alcotest.test_case "paper setups" `Quick paper_setups_shape;
+        Alcotest.test_case "ok predicate" `Quick ok_predicate;
         Alcotest.test_case "report table" `Quick report_table_renders;
       ] );
   ]

@@ -308,6 +308,47 @@ let distances_lru () =
     (let r = Distances.hit_rate d in
      r >= 0. && r <= 1.)
 
+(* ---- Check.violations early exit vs the unlimited scan ---- *)
+
+(* The [~limit] fast path (PR 3) must agree with the full scan on the only
+   question its callers ask — "is the network consistent?" — over tables
+   damaged in both directions: cleared entries (false negatives) and
+   suffix-correct occupants that are not network nodes (dangling). *)
+let limit_agrees_with_full_scan =
+  let p = Params.make ~b:4 ~d:4 in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:150 ~name:"Check.violations ~limit:1 agrees on is-empty"
+       QCheck.(pair (int_range 0 10_000) (int_range 0 12))
+       (fun (seed, damage) ->
+         let rng = Rng.create seed in
+         let net =
+           Network.create ~latency:(Ntcu_sim.Latency.constant 1.) p
+         in
+         Network.seed_consistent net ~seed:(seed + 1)
+           (Ntcu_harness.Workload.distinct_ids rng p ~n:15);
+         let tables = Array.of_list (Network.tables net) in
+         let owners = Array.map Table.owner tables in
+         for _ = 1 to damage do
+           let t = tables.(Rng.int rng (Array.length tables)) in
+           let level = Rng.int rng 4 and digit = Rng.int rng 4 in
+           if Rng.bool rng then Table.clear t ~level ~digit
+           else begin
+             (* A suffix-correct stranger: dangling unless it happens to
+                collide with a real node (then it is a repair, also fine —
+                the property only compares the two scans). *)
+             let suffix = Table.required_suffix t ~level ~digit in
+             let stranger = Id.random_with_suffix rng p suffix in
+             if not (Array.exists (Id.equal stranger) owners) || Rng.bool rng then
+               Table.set t ~level ~digit stranger T
+           end
+         done;
+         let tables = Array.to_list tables in
+         let fast = Ntcu_table.Check.violations ~limit:1 tables in
+         let full = Ntcu_table.Check.violations ~limit:max_int tables in
+         (fast = []) = (full = [])
+         && List.length fast <= 1
+         && (full = [] || List.mem (List.hd fast) full)))
+
 (* ---- Churn oracle: random join/fail and join/leave schedules ---- *)
 
 let churn_params = Params.make ~b:4 ~d:4
@@ -416,6 +457,7 @@ let suites =
         Alcotest.test_case "pqueue matches model" `Quick pqueue_vs_model;
         Alcotest.test_case "distances exact" `Quick distances_exact;
         Alcotest.test_case "distances lru" `Quick distances_lru;
+        limit_agrees_with_full_scan;
         Alcotest.test_case "churn oracle" `Quick churn_oracle;
       ] );
   ]
