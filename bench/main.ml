@@ -340,7 +340,8 @@ let optimize () =
     joiners;
   Ntcu_core.Network.run net;
   ignore
-    (claim "optimize: setup consistent" (Ntcu_core.Network.check_consistent net = [])
+    (claim "optimize: setup consistent"
+       (List.is_empty (Ntcu_core.Network.check_consistent net))
       : bool);
   (* Host index = registration order, matching the attach order. *)
   let host_index = Id.Tbl.create 512 in
@@ -360,7 +361,7 @@ let optimize () =
   pf "average route stretch: %.3f before, %.3f after@." before after;
   pf "still consistent: %b@."
     (claim "optimize: consistent after optimization"
-       (Ntcu_core.Network.check_consistent net = []))
+       (List.is_empty (Ntcu_core.Network.check_consistent net)))
 
 (* ---- Assumption ablation: what the paper's assumptions buy ---- *)
 
@@ -475,7 +476,7 @@ let churn () =
   pf "concurrent leaves: %a@." Ntcu_extensions.Leave_protocol.pp_report lr;
   pf "consistent after leaves: %b@."
     (claim "churn: consistent after leaves"
-       (Ntcu_table.Check.violations (Ntcu_core.Network.tables net) = []));
+       (List.is_empty (Ntcu_table.Check.violations (Ntcu_core.Network.tables net))));
   (* Then crash fractions of the survivors and repair. *)
   List.iter
     (fun fraction ->
@@ -491,7 +492,8 @@ let churn () =
         (claim
            (Printf.sprintf "churn: consistent after repair at %.0f%%"
               (100. *. fraction))
-           (Ntcu_table.Check.violations (Ntcu_core.Network.tables run.net) = [])))
+           (List.is_empty
+              (Ntcu_table.Check.violations (Ntcu_core.Network.tables run.net)))))
     [ 0.05; 0.15; 0.30; 0.50 ]
 
 (* ---- Backup neighbors: routing resilience before repair ---- *)
@@ -749,12 +751,19 @@ let micro () =
           (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
           Toolkit.Instance.monotonic_clock results
       in
-      Hashtbl.iter
-        (fun name result ->
+      (* Print in name order; Hashtbl.iter order would vary run to run. *)
+      let rows =
+        (Hashtbl.fold [@ntcu.allow "D002"])
+          (fun name result acc -> (name, result) :: acc)
+          results []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      List.iter
+        (fun (name, result) ->
           match Bechamel.Analyze.OLS.estimates result with
           | Some [ est ] -> pf "%-40s %14.1f ns/run@." name est
           | Some _ | None -> pf "%-40s (no estimate)@." name)
-        results)
+        rows)
     benchmarks
 
 (* Pull "--jobs N" / "--jobs=N" out of the argument list (so N is not

@@ -223,7 +223,7 @@ let leave_cmd =
       Ntcu_extensions.Leave_protocol.run lp;
       Format.printf "%a@." Ntcu_extensions.Leave_protocol.pp_report
         (Ntcu_extensions.Leave_protocol.report lp);
-      let consistent = Ntcu_core.Network.check_consistent result.net = [] in
+      let consistent = List.is_empty (Ntcu_core.Network.check_consistent result.net) in
       Format.printf "consistent after leaves: %b@." consistent;
       if consistent then 0 else 1
     end
@@ -253,7 +253,7 @@ let recovery_cmd =
       Format.printf "crashed %d of %d nodes@." (List.length victims) (n + m);
       let report = Ntcu_extensions.Recovery.repair result.net in
       Format.printf "%a@." Ntcu_extensions.Recovery.pp_report report;
-      let consistent = Ntcu_core.Network.check_consistent result.net = [] in
+      let consistent = List.is_empty (Ntcu_core.Network.check_consistent result.net) in
       Format.printf "survivors consistent: %b@." consistent;
       if consistent then 0 else 1
     end

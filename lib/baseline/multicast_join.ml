@@ -128,7 +128,7 @@ and multicast_targets t u level =
 and handle_announce t u ~joiner ~level ~upstream =
   let k = Id.csuf_len u.id joiner in
   let digit = Id.digit joiner k in
-  (if Table.neighbor u.table ~level:k ~digit = None then
+  (if Option.is_none (Table.neighbor u.table ~level:k ~digit) then
      Table.set u.table ~level:k ~digit joiner S);
   send t ~src:u.id ~dst:joiner (B_info { about = u.id });
   (* The entry just filled may alias the joiner into our own fan-out rows;
@@ -136,7 +136,7 @@ and handle_announce t u ~joiner ~level ~upstream =
   let targets =
     List.filter (fun (v, _) -> not (Id.equal v joiner)) (multicast_targets t u level)
   in
-  if targets = [] then ack_upstream t u ~joiner ~upstream
+  if List.is_empty targets then ack_upstream t u ~joiner ~upstream
   else begin
     let entry = { joiner; upstream; awaiting = List.length targets } in
     u.pending <- entry :: u.pending;
@@ -200,12 +200,12 @@ and deliver t ~src ~dst msg =
   | B_info { about } ->
     let k = Id.csuf_len u.id about in
     let digit = Id.digit about k in
-    if Table.neighbor u.table ~level:k ~digit = None then
+    if Option.is_none (Table.neighbor u.table ~level:k ~digit) then
       Table.set u.table ~level:k ~digit about S
   | B_done -> u.completed <- true
 
 let seed_consistent t ~seed ids =
-  if ids = [] then invalid_arg "Multicast_join.seed_consistent: empty node list";
+  if List.is_empty ids then invalid_arg "Multicast_join.seed_consistent: empty node list";
   let rng = Rng.create seed in
   List.iter (fun id -> register t (make_node t ~seed:true id)) ids;
   let index = Ntcu_table.Suffix_index.of_ids ids in

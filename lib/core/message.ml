@@ -4,6 +4,11 @@ module Snapshot = Ntcu_table.Table.Snapshot
 
 type sign = Negative | Positive
 
+let sign_equal a b =
+  match (a, b) with
+  | Negative, Negative | Positive, Positive -> true
+  | (Negative | Positive), _ -> false
+
 type t =
   | Cp_rst of { level : int }
   | Cp_rly of { table : Snapshot.t }

@@ -8,6 +8,8 @@
 
 type sign = Negative | Positive
 
+val sign_equal : sign -> sign -> bool
+
 type t =
   | Cp_rst of { level : int }
       (** Request a copy of the receiver's table. [level] is the level the

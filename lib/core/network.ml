@@ -114,7 +114,7 @@ let create ?latency ?(size_mode = Message.Full) ?(record_trace = false) ?loss ?r
 let params t = t.params
 let engine t = t.engine
 let trace t = t.trace
-let reliable t = t.rel <> None
+let reliable t = Option.is_some t.rel
 
 let set_suspicion_handler t f = t.suspicion_handler <- Some f
 
@@ -318,15 +318,21 @@ let suffix_members ids =
   members
 
 let seed_consistent t ~seed ids =
-  if ids = [] then invalid_arg "Network.seed_consistent: empty node list";
+  if List.is_empty ids then invalid_arg "Network.seed_consistent: empty node list";
   let rng = Ntcu_std.Rng.create seed in
   List.iter (fun id -> add_seed_node t id) ids;
   let members = suffix_members ids in
   (* Freeze each member list into an array once: [candidates_of] runs for
      every (node, level, digit) cell, and re-materializing the big
      short-suffix lists there dominated seeding time. *)
-  let frozen : (int array, Id.t array) Hashtbl.t = Hashtbl.create (Hashtbl.length members) in
-  Hashtbl.iter (fun suffix l -> Hashtbl.add frozen suffix (Array.of_list !l)) members;
+  let frozen : (int array, Id.t array) Hashtbl.t =
+    Hashtbl.create (Hashtbl.length members)
+  in
+  (* Key-by-key copy into another table: iteration order cannot be observed
+     because [frozen] is only read back through [Hashtbl.find_opt]. *)
+  (Hashtbl.iter [@ntcu.allow "D002"])
+    (fun suffix l -> Hashtbl.add frozen suffix (Array.of_list !l))
+    members;
   let candidates_of suffix =
     match Hashtbl.find_opt frozen suffix with
     | Some a -> a
@@ -403,11 +409,12 @@ let joiners t = List.filter Node.is_joiner (nodes t)
 
 let tables t = List.map Node.table (nodes t)
 
-let all_in_system t = List.for_all (fun n -> Node.status n = Node.In_system) (nodes t)
+let all_in_system t =
+  List.for_all (fun n -> Node.status_equal (Node.status n) Node.In_system) (nodes t)
 
 let stuck_joiners t =
   List.filter
-    (fun n -> Node.is_joiner n && Node.status n <> Node.In_system)
+    (fun n -> Node.is_joiner n && not (Node.status_equal (Node.status n) Node.In_system))
     (nodes t)
 
 let is_quiescent t = Engine.pending t.engine = 0

@@ -4,6 +4,12 @@ module Snapshot = Table.Snapshot
 
 type status = Copying | Waiting | Notifying | In_system
 
+let status_equal a b =
+  match (a, b) with
+  | Copying, Copying | Waiting, Waiting | Notifying, Notifying | In_system, In_system ->
+    true
+  | (Copying | Waiting | Notifying | In_system), _ -> false
+
 let pp_status ppf s =
   Fmt.string ppf
     (match s with
@@ -29,6 +35,13 @@ type fault =
          forward its JoinWaitMsg to the named occupant — it just keeps
          waiting. Only dependent joins racing for one entry open the
          window. *)
+
+let fault_equal a b =
+  match (a, b) with
+  | Drop_queued_join_waits, Drop_queued_join_waits
+  | Forget_negative_forward, Forget_negative_forward ->
+    true
+  | (Drop_queued_join_waits | Forget_negative_forward), _ -> false
 
 type t = {
   config : config;
@@ -96,6 +109,7 @@ let queued_join_waits t = List.length t.q_j
 let suspects t = t.suspects
 let is_suspect t u = Id.Set.mem u t.suspects
 let set_fault t f = t.fault <- f
+let has_fault t f = match t.fault with Some g -> fault_equal g f | None -> false
 
 let digit_of _t other level = Id.digit other level
 
@@ -156,7 +170,7 @@ let join_noti_msg t ~recipient =
 (* ---- Switch_To_S_Node (Figure 13) ---- *)
 
 let switch_to_s_node t ~now acts =
-  assert (t.status = Notifying || t.status = Waiting);
+  assert (status_equal t.status Notifying || status_equal t.status Waiting);
   t.status <- In_system;
   t.t_end <- Some now;
   let p = t.config.params in
@@ -170,7 +184,7 @@ let switch_to_s_node t ~now acts =
       (Table.all_reverse t.table) acts
   in
   let acts =
-    if t.fault = Some Drop_queued_join_waits then acts
+    if has_fault t Drop_queued_join_waits then acts
     else
     List.fold_left
       (fun acc u ->
@@ -209,7 +223,7 @@ let switch_to_s_node t ~now acts =
   acts
 
 let maybe_switch t ~now acts =
-  if t.status = Notifying && Id.Set.is_empty t.q_r && Id.Set.is_empty t.q_sr then
+  if status_equal t.status Notifying && Id.Set.is_empty t.q_r && Id.Set.is_empty t.q_sr then
     switch_to_s_node t ~now acts
   else acts
 
@@ -230,7 +244,8 @@ let check_ngh_table t snapshot acts =
           (* Entry taken: keep the extra suffix-holder as a backup neighbor
              for fault-tolerant routing (Section 2.1). *)
           ignore (Table.add_backup t.table ~level:k ~digit:j u));
-        if t.status = Notifying && k >= t.noti_level && not (Id.Set.mem u t.q_n) then begin
+        if status_equal t.status Notifying && k >= t.noti_level && not (Id.Set.mem u t.q_n)
+        then begin
           acts := { dst = u; msg = join_noti_msg t ~recipient:u } :: !acts;
           t.q_n <- Id.Set.add u t.q_n;
           t.q_r <- Id.Set.add u t.q_r
@@ -277,7 +292,7 @@ let rewait t acts =
 (* ---- Action in status copying (Figure 5) ---- *)
 
 let begin_join t ~now ~gateway =
-  if t.status <> Copying || t.t_begin <> None then
+  if (not (status_equal t.status Copying)) || Option.is_some t.t_begin then
     invalid_arg "Node.begin_join: join already started";
   if Id.equal gateway t.id then invalid_arg "Node.begin_join: gateway is the node itself";
   t.t_begin <- Some now;
@@ -301,7 +316,7 @@ let finish_copying t ~join_wait_target acts =
 
 let on_cp_rly t ~src snapshot =
   if
-    t.status <> Copying
+    (not (status_equal t.status Copying))
     || (match t.copy_from with Some g -> not (Id.equal g src) | None -> true)
   then
     (* Stale: we suspected the sender and failed over to another copy source
@@ -336,7 +351,7 @@ let on_cp_rly t ~src snapshot =
 let on_join_wait t ~src =
   let k = csuf t src in
   let j = digit_of t src k in
-  if t.status = In_system then begin
+  if status_equal t.status In_system then begin
     match Table.neighbor t.table ~level:k ~digit:j with
     | Some occupant when not (Id.equal occupant src) ->
       (* Refused as primary, but a valid holder of the suffix: keep it as a
@@ -370,7 +385,7 @@ let on_join_wait_rly t ~now ~src sign occupant snapshot =
   | Some n when Id.equal n src -> Table.set_state t.table ~level:k ~digit:(digit_of t src k) S
   | Some _ | None -> ());
   let acts =
-    if t.status <> Waiting then
+    if not (status_equal t.status Waiting) then
       (* Stale: a failover already moved us past the waiting phase; keep the
          table upkeep above but do not re-enter it. *)
       []
@@ -394,7 +409,7 @@ let on_join_wait_rly t ~now ~src sign occupant snapshot =
         (* The replier named an occupant we already suspect is dead (it has
            not learned yet); fail over to a live contact directly. *)
         rewait t []
-      else if t.fault = Some Forget_negative_forward then []
+      else if has_fault t Forget_negative_forward then []
       else begin
         t.q_n <- Id.Set.add occupant t.q_n;
         t.q_r <- Id.Set.add occupant t.q_r;
@@ -410,14 +425,14 @@ let on_join_noti t ~src (snapshot : Snapshot.t) =
   let k = csuf t src in
   let j = digit_of t src k in
   let acts =
-    if Table.neighbor t.table ~level:k ~digit:j = None then
+    if Option.is_none (Table.neighbor t.table ~level:k ~digit:j) then
       set_entry t ~level:k ~digit:j src T []
     else []
   in
   (* f: the sender's table does not name us as its (k, y[k])-neighbor even
      though we are an S-node, so the actual occupant must be told about us. *)
   let flag =
-    t.status = In_system
+    status_equal t.status In_system
     &&
     match Snapshot.find snapshot ~level:k ~digit:(Id.digit t.id k) with
     | Some { node; _ } -> not (Id.equal node t.id)
@@ -435,7 +450,7 @@ let on_join_noti t ~src (snapshot : Snapshot.t) =
 let on_join_noti_rly t ~now ~src sign snapshot flag =
   t.q_r <- Id.Set.remove src t.q_r;
   let k = csuf t src in
-  if sign = Message.Positive then
+  if Message.sign_equal sign Message.Positive then
     Table.add_reverse t.table ~level:k ~digit:(Id.digit t.id k) src;
   let acts =
     if flag && k > t.noti_level && not (Id.Set.mem src t.q_sn) then begin
@@ -467,7 +482,7 @@ let on_spe_noti t origin subject =
     let k = Id.csuf_len subject t.id in
     let j = Id.digit subject k in
     let acts =
-      if Table.neighbor t.table ~level:k ~digit:j = None then
+      if Option.is_none (Table.neighbor t.table ~level:k ~digit:j) then
         set_entry t ~level:k ~digit:j subject S []
       else []
     in
@@ -497,8 +512,8 @@ let on_in_sys_noti t ~src =
 
 let on_rv_ngh_noti t ~src ~level ~digit recorded =
   Table.add_reverse t.table ~level ~digit src;
-  let actual : Ntcu_table.Table.nstate = if t.status = In_system then S else T in
-  if actual <> recorded then
+  let actual : Ntcu_table.Table.nstate = if status_equal t.status In_system then S else T in
+  if not (Table.nstate_equal actual recorded) then
     [ { dst = src; msg = Message.Rv_ngh_noti_rly { level; digit; state = actual } } ]
   else []
 

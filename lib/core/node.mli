@@ -14,6 +14,8 @@
 
 type status = Copying | Waiting | Notifying | In_system
 
+val status_equal : status -> status -> bool
+
 val pp_status : status Fmt.t
 
 type config = { params : Ntcu_id.Params.t; size_mode : Message.size_mode }

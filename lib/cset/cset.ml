@@ -35,7 +35,7 @@ let template (p : Ntcu_id.Params.t) ~root ~w =
           (fun l ->
             let ext = extend suffix l in
             let sub = List.filter (fun x -> Id.has_suffix x ext) members in
-            if sub = [] then None else Some (build ext sub))
+            if List.is_empty sub then None else Some (build ext sub))
           (List.init p.b Fun.id)
     in
     { suffix; members = Id.Set.of_list members; children }
@@ -83,7 +83,7 @@ let realized ~lookup ~v_root ~root ~w =
           (fun l ->
             let ext = extend suffix l in
             let w_ext = List.filter (fun x -> Id.has_suffix x ext) w_here in
-            if w_ext = [] then None
+            if List.is_empty w_ext then None
             else begin
               let members = stored_by parents ~level:len ~digit:l w_ext in
               Some (build ext members w_ext)
@@ -100,7 +100,7 @@ let realized ~lookup ~v_root ~root ~w =
         (fun l ->
           let ext = extend root l in
           let w_ext = List.filter (fun x -> Id.has_suffix x ext) w in
-          if w_ext = [] then None
+          if List.is_empty w_ext then None
           else begin
             let members = stored_by v_root ~level:len ~digit:l w_ext in
             Some (build ext members w_ext)
@@ -295,4 +295,7 @@ let dependency_groups v_index ~w =
     let l = try Hashtbl.find groups r with Not_found -> [] in
     Hashtbl.replace groups r (arr.(i) :: l)
   done;
-  Hashtbl.fold (fun _ l acc -> List.rev l :: acc) groups []
+  (* Emit groups in ascending root order: the group list's order is part of
+     downstream reports, so make it defined rather than accidentally stable. *)
+  let roots = List.sort_uniq Int.compare (List.init n find) in
+  List.map (fun r -> List.rev (Hashtbl.find groups r)) roots

@@ -126,8 +126,9 @@ let run config =
           List.iter (fun id -> Network.fail net id) victims);
       victims
   in
-  let expect_budget = config.scenario <> Fault in
-  let expect_consistency = config.scenario <> Fault in
+  let is_fault = match config.scenario with Fault -> true | _ -> false in
+  let expect_budget = not is_fault in
+  let expect_consistency = not is_fault in
   if config.midflight then begin
     let monitor = Invariants.midflight ~expect_budget ~net ~joiners () in
     Engine.set_observer (Network.engine net)
@@ -138,7 +139,8 @@ let run config =
   let caught =
     try
       Network.run net;
-      if crashed <> [] then Ntcu_harness.Experiment.detect_failures net ~crashed;
+      if not (List.is_empty crashed) then
+        Ntcu_harness.Experiment.detect_failures net ~crashed;
       None
     with Midflight v -> Some v
   in

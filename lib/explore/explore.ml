@@ -92,7 +92,7 @@ let run settings =
         Parallel.map pool Episode.run configs)
   in
   let failing =
-    List.filter (fun (o : Episode.outcome) -> o.violations <> []) outcomes
+    List.filter (fun (o : Episode.outcome) -> not (List.is_empty o.violations)) outcomes
   in
   (* Shrinking re-runs episodes serially; cap how many we minimize. *)
   let found =

@@ -60,7 +60,7 @@ let cset net ~seeds ~joiners =
   List.concat_map
     (fun (key, (omega, w)) ->
       let v_root = List.filter (fun v -> Id.has_suffix v omega) seeds in
-      if v_root = [] then []
+      if List.is_empty v_root then []
       else begin
         let template = Cset.template p ~root:omega ~w in
         let realized = Cset.realized ~lookup ~v_root ~root:omega ~w in
@@ -156,15 +156,18 @@ let midflight ?(stride = 64) ?(expect_budget = true) ~net ~joiners () =
   let events = ref 0 in
   let found = ref None in
   fun () ->
-    if !found = None then begin
+    if Option.is_none !found then begin
       incr events;
       if !events mod stride = 0 then begin
         (if expect_budget then found := List.find_map (budget_violation net) joiners);
-        if !found = None then
+        if Option.is_none !found then
           found :=
             List.find_map
               (fun n ->
-                if Node.status n = Node.In_system && Node.pending_replies n > 0 then
+                if
+                  Node.status_equal (Node.status n) Node.In_system
+                  && Node.pending_replies n > 0
+                then
                   Some
                     {
                       name = "liveness";

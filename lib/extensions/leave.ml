@@ -26,7 +26,7 @@ let leave net x =
   match Network.node net x with
   | None -> Error (Fmt.str "leave: unknown node %a" Id.pp x)
   | Some node ->
-    if Node.status node <> Node.In_system then
+    if not (Node.status_equal (Node.status node) Node.In_system) then
       Error (Fmt.str "leave: node %a is still joining" Id.pp x)
     else if not (Network.is_quiescent net) then Error "leave: network is not quiescent"
     else begin

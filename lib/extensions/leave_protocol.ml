@@ -152,7 +152,10 @@ let rec fire_leave t x =
   match Network.node t.net x with
   | None -> ()
   | Some node ->
-    if Network.is_failed t.net x || Node.status node <> Node.In_system then ()
+    if
+      Network.is_failed t.net x
+      || not (Node.status_equal (Node.status node) Node.In_system)
+    then ()
     else if Id.Tbl.mem t.leaving x then ()
     else begin
       let table = Node.table node in

@@ -36,7 +36,7 @@ let finish ~t0 net seeds joiners =
     (* The eval path only needs yes/no, so probe with [~limit:1] (first
        violation aborts the scan); the full list is recomputed lazily by the
        rare consumer that reports violation details. *)
-    consistent = Network.check_consistent ~limit:1 net = [];
+    consistent = List.is_empty (Network.check_consistent ~limit:1 net);
     violations = lazy (Network.check_consistent net);
     all_in_system = Network.all_in_system net;
     quiescent = Network.is_quiescent net;
@@ -171,11 +171,11 @@ let detect_failures net ~crashed =
           let reference =
             List.fold_left
               (fun acc holder ->
-                if acc <> None || Id.equal holder victim then acc
+                if Option.is_some acc || Id.equal holder victim then acc
                 else
                   let table = Node.table (Network.node_exn net holder) in
                   Table.fold table ~init:None ~f:(fun acc ~level ~digit n state ->
-                      if acc = None && Id.equal n victim then
+                      if Option.is_none acc && Id.equal n victim then
                         Some (holder, level, digit, state)
                       else acc))
               None (Network.live_ids net)
@@ -304,7 +304,7 @@ let baseline_run ?latency p ~seed ~n ~m ~concurrent =
   let violations = B.check_consistent t in
   let counts = B.message_counts t in
   {
-    base_consistent = violations = [];
+    base_consistent = List.is_empty violations;
     base_violations = List.length violations;
     base_done = B.all_done t;
     peak_pending = B.peak_pending_at_existing t;

@@ -1,0 +1,85 @@
+type region = { codes : string list; start_ofs : int; end_ofs : int }
+
+let split_codes s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char ',')
+  |> List.filter (fun c -> c <> "")
+
+(* Attributes in the typedtree carry parsetree payloads. *)
+let codes_of_payload : Parsetree.payload -> string list option = function
+  | PStr [] -> Some [] (* [@ntcu.allow]: every code *)
+  | PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+    Some (split_codes s)
+  | _ -> None
+
+let region_of_attr ~loc (attr : Parsetree.attribute) =
+  if String.equal attr.attr_name.txt "ntcu.allow" then
+    match codes_of_payload attr.attr_payload with
+    | Some codes ->
+      Some
+        {
+          codes;
+          start_ofs = loc.Location.loc_start.Lexing.pos_cnum;
+          end_ofs = loc.Location.loc_end.Lexing.pos_cnum;
+        }
+    | None -> None
+  else None
+
+let whole_file = { codes = []; start_ofs = 0; end_ofs = max_int }
+
+let collect (str : Typedtree.structure) =
+  let acc = ref [] in
+  let add_attrs ~loc attrs =
+    List.iter
+      (fun attr ->
+        match region_of_attr ~loc attr with Some r -> acc := r :: !acc | None -> ())
+      attrs
+  in
+  let open Tast_iterator in
+  let expr sub (e : Typedtree.expression) =
+    add_attrs ~loc:e.exp_loc e.exp_attributes;
+    default_iterator.expr sub e
+  in
+  let value_binding sub (vb : Typedtree.value_binding) =
+    add_attrs ~loc:vb.vb_loc vb.vb_attributes;
+    default_iterator.value_binding sub vb
+  in
+  let module_binding sub (mb : Typedtree.module_binding) =
+    add_attrs ~loc:mb.mb_loc mb.mb_attributes;
+    default_iterator.module_binding sub mb
+  in
+  let structure_item sub (si : Typedtree.structure_item) =
+    (match si.str_desc with
+    | Tstr_attribute attr -> (
+      (* Floating attribute: suppress for the whole file. *)
+      match region_of_attr ~loc:si.str_loc attr with
+      | Some r ->
+        acc :=
+          { r with start_ofs = whole_file.start_ofs; end_ofs = whole_file.end_ofs }
+          :: !acc
+      | None -> ())
+    | _ -> ());
+    default_iterator.structure_item sub si
+  in
+  let it = { default_iterator with expr; value_binding; module_binding; structure_item } in
+  it.structure it str;
+  List.rev !acc
+
+let allows region code =
+  match region.codes with [] -> true | codes -> List.exists (String.equal code) codes
+
+let filter regions findings =
+  List.filter
+    (fun (f : Finding.t) ->
+      not
+        (List.exists
+           (fun r -> f.ofs >= r.start_ofs && f.ofs <= r.end_ofs && allows r f.code)
+           regions))
+    findings

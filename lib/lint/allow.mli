@@ -1,0 +1,19 @@
+(** Per-site suppression via [[@ntcu.allow "D003"]] attributes.
+
+    An attribute on an expression, value binding, or module binding suppresses
+    the listed codes for every finding located inside that node. The payload
+    is a string of whitespace- or comma-separated codes; an empty payload
+    allows every code. A floating [[@@@ntcu.allow "..."]] structure item
+    suppresses for the whole file. *)
+
+type region = {
+  codes : string list;  (** Allowed codes; [[]] means every code. *)
+  start_ofs : int;
+  end_ofs : int;
+}
+
+val collect : Typedtree.structure -> region list
+(** All allow regions declared in the typed tree, in source order. *)
+
+val filter : region list -> Finding.t list -> Finding.t list
+(** Drop findings whose offset falls inside a region allowing their code. *)

@@ -1,0 +1,52 @@
+type entry = { code : string; file : string; line : int; note : string }
+type t = entry list
+
+let empty = []
+
+let parse_line raw =
+  let body, note =
+    match String.index_opt raw '#' with
+    | Some i ->
+      let note = String.trim (String.sub raw (i + 1) (String.length raw - i - 1)) in
+      (String.sub raw 0 i, note)
+    | None -> (raw, "")
+  in
+  match String.split_on_char ' ' (String.trim body) |> List.filter (fun s -> s <> "") with
+  | [] -> None
+  | [ code; site ] -> (
+    match String.rindex_opt site ':' with
+    | None -> None
+    | Some i -> (
+      let file = String.sub site 0 i in
+      match int_of_string_opt (String.sub site (i + 1) (String.length site - i - 1)) with
+      | Some line -> Some { code; file; line; note }
+      | None -> None))
+  | _ -> None
+
+let of_lines lines = List.filter_map parse_line lines
+
+let load path =
+  if not (Sys.file_exists path) then empty
+  else begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | line -> go (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        of_lines (go []))
+  end
+
+let matches e (f : Finding.t) =
+  String.equal e.code f.code && String.equal e.file f.file && e.line = f.line
+
+let mem t f = List.exists (fun e -> matches e f) t
+
+let partition t findings = List.partition (fun f -> not (mem t f)) findings
+
+let unused t findings = List.filter (fun e -> not (List.exists (matches e) findings)) t
+
+let line_of_finding (f : Finding.t) = Printf.sprintf "%s %s:%d" f.code f.file f.line

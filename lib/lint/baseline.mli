@@ -1,0 +1,27 @@
+(** Checked-in baseline of grandfathered findings.
+
+    A baseline entry is one line: [CODE file:line], optionally followed by a
+    [#]-comment carrying the one-line justification. Blank lines and lines
+    starting with [#] are ignored. A finding matches an entry when code, file,
+    and line are all equal — so moving or fixing a site invalidates its entry,
+    which the driver reports as unused (without failing). *)
+
+type entry = { code : string; file : string; line : int; note : string }
+
+type t
+
+val empty : t
+val of_lines : string list -> t
+val load : string -> t
+(** [load path] reads the baseline; a missing file yields {!empty}. *)
+
+val mem : t -> Finding.t -> bool
+
+val partition : t -> Finding.t list -> Finding.t list * Finding.t list
+(** [partition t findings] is [(fresh, baselined)]. *)
+
+val unused : t -> Finding.t list -> entry list
+(** Entries matching no finding, in file order — stale grandfather lines. *)
+
+val line_of_finding : Finding.t -> string
+(** Render a finding as a baseline line (used by [--update-baseline]). *)

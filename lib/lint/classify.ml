@@ -1,0 +1,23 @@
+type t = { source : string; in_lib : bool; clock_allowed : bool; emitter : bool }
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+let basename s =
+  match String.rindex_opt s '/' with
+  | None -> s
+  | Some i -> String.sub s (i + 1) (String.length s - i - 1)
+
+(* Modules whose output is diffed byte-for-byte (JSON reports, golden traces,
+   wire codecs, repro files): lossy float formatting there can mask a real
+   divergence behind identical rounded text. *)
+let emitter_basenames = [ "report.ml"; "trace.ml"; "codec.ml"; "repro.ml" ]
+
+let of_source source =
+  {
+    source;
+    in_lib = starts_with "lib/" source;
+    clock_allowed = starts_with "lib/harness/" source || starts_with "bench/" source;
+    emitter = List.mem (basename source) emitter_basenames;
+  }

@@ -1,0 +1,22 @@
+(** Scope classification of a source file.
+
+    Rules are scoped: D003 has a wall-clock/Random allowlist (the measurement
+    harness and the bench driver legitimately read host time), D004 only
+    concerns library code reachable from the [Parallel] domain pool, and D005
+    only concerns emitter modules whose float output is diffed byte-for-byte.
+    The driver derives the classification from the repo-relative source path;
+    tests construct records directly to exercise every rule on fixtures. *)
+
+type t = {
+  source : string;  (** Repo-relative source path as recorded in the .cmt. *)
+  in_lib : bool;  (** Under [lib/]: D004 (toplevel mutable state) applies. *)
+  clock_allowed : bool;
+      (** Under [lib/harness/] or [bench/]: D003 (wall clock, global Random)
+          is suppressed — these measure host performance by design. *)
+  emitter : bool;
+      (** Report/trace/codec/repro module: D005 (lossy float formatting)
+          applies. *)
+}
+
+val of_source : string -> t
+(** Classification used by the driver for real repo paths. *)

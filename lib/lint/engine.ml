@@ -1,0 +1,112 @@
+type report = {
+  fresh : Finding.t list;
+  baselined : Finding.t list;
+  unused_baseline : Baseline.entry list;
+  files_scanned : int;
+}
+
+let build_root root =
+  let candidate = Filename.concat (Filename.concat root "_build") "default" in
+  if Sys.file_exists candidate && Sys.is_directory candidate then candidate else root
+
+let ends_with ~suffix s =
+  let n = String.length suffix in
+  String.length s >= n && String.equal suffix (String.sub s (String.length s - n) n)
+
+let find_cmts ~build_root ~dirs =
+  let acc = ref [] in
+  let rec walk dir =
+    match Sys.readdir dir with
+    | entries ->
+      Array.sort String.compare entries;
+      Array.iter
+        (fun name ->
+          let path = Filename.concat dir name in
+          if Sys.is_directory path then begin
+            (* .formatted holds ocamlformat shadow copies, not build output. *)
+            if not (String.equal name ".formatted") then walk path
+          end
+          else if ends_with ~suffix:".cmt" name then acc := path :: !acc)
+        entries
+    | exception Sys_error _ -> ()
+  in
+  List.iter
+    (fun d ->
+      let path = Filename.concat build_root d in
+      if Sys.file_exists path && Sys.is_directory path then walk path)
+    dirs;
+  List.sort String.compare !acc
+
+let lint_cmt ?(classify = Classify.of_source) path =
+  match Cmt_format.read_cmt path with
+  | exception _ -> []
+  | infos -> (
+    match (infos.cmt_annots, infos.cmt_sourcefile) with
+    | _, Some source when ends_with ~suffix:".ml-gen" source -> [] (* dune wrapper module *)
+    | Implementation str, source ->
+      let source = match source with Some s -> s | None -> path in
+      Rules.run_all (classify source) str
+    | _ -> [])
+
+let run ?classify ?(dirs = [ "lib"; "bin"; "bench" ]) ~baseline ~root () =
+  let build_root = build_root root in
+  let cmts = find_cmts ~build_root ~dirs in
+  let findings = List.concat_map (fun cmt -> lint_cmt ?classify cmt) cmts in
+  let findings = List.sort_uniq Finding.compare findings in
+  let fresh, baselined = Baseline.partition baseline findings in
+  {
+    fresh;
+    baselined;
+    unused_baseline = Baseline.unused baseline findings;
+    files_scanned = List.length cmts;
+  }
+
+let is_empty = function [] -> true | _ :: _ -> false
+
+let pp_report ppf r =
+  List.iter (fun f -> Fmt.pf ppf "%a@." Finding.pp f) r.fresh;
+  if not (is_empty r.baselined) then
+    Fmt.pf ppf "%d baselined finding%s suppressed@." (List.length r.baselined)
+      (if List.length r.baselined = 1 then "" else "s");
+  List.iter
+    (fun (e : Baseline.entry) ->
+      Fmt.pf ppf "warning: unused baseline entry %s %s:%d@." e.code e.file e.line)
+    r.unused_baseline;
+  if is_empty r.fresh then
+    Fmt.pf ppf "ntcu-lint: clean (%d files scanned)@." r.files_scanned
+  else
+    Fmt.pf ppf "ntcu-lint: %d finding%s (%d files scanned)@." (List.length r.fresh)
+      (if List.length r.fresh = 1 then "" else "s")
+      r.files_scanned
+
+let report_to_json r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"schema\": \"ntcu-lint/1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"files_scanned\": %d,\n" r.files_scanned);
+  let finding_list key fs =
+    Buffer.add_string buf (Printf.sprintf "  \"%s\": [" key);
+    List.iteri
+      (fun i f ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf "\n    ";
+        Buffer.add_string buf (Finding.to_json f))
+      fs;
+    if not (is_empty fs) then Buffer.add_string buf "\n  ";
+    Buffer.add_string buf "]"
+  in
+  finding_list "findings" r.fresh;
+  Buffer.add_string buf ",\n";
+  finding_list "baselined" r.baselined;
+  Buffer.add_string buf ",\n  \"unused_baseline\": [";
+  List.iteri
+    (fun i (e : Baseline.entry) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "\n    {\"code\": \"%s\", \"file\": \"%s\", \"line\": %d}"
+           (Finding.json_escape e.code) (Finding.json_escape e.file) e.line))
+    r.unused_baseline;
+  if not (is_empty r.unused_baseline) then Buffer.add_string buf "\n  ";
+  Buffer.add_string buf "]\n}\n";
+  Buffer.contents buf
+
+let exit_code r = if is_empty r.fresh then 0 else 1

@@ -1,0 +1,45 @@
+(** Driver: discover .cmt files under the dune build tree, run the rule
+    registry on each, and fold the results into a report.
+
+    The engine reads the typed trees dune already produced ([bin_annot] is
+    forced on project-wide), so linting never re-typechecks: [dune build
+    @lint] is build + a fast tree walk. *)
+
+type report = {
+  fresh : Finding.t list;  (** Non-baselined findings — these fail the gate. *)
+  baselined : Finding.t list;  (** Grandfathered by the baseline file. *)
+  unused_baseline : Baseline.entry list;  (** Stale baseline lines. *)
+  files_scanned : int;
+}
+
+val build_root : string -> string
+(** [build_root root] is [root ^ "/_build/default"] when that exists, else
+    [root] itself — so the engine works both from a source checkout and from
+    inside a dune action whose cwd is already the build context root. *)
+
+val find_cmts : build_root:string -> dirs:string list -> string list
+(** All [.cmt] files under [dirs] (recursively, including dot-directories
+    like [.ntcu_core.objs], excluding [.formatted]), sorted. *)
+
+val lint_cmt : ?classify:(string -> Classify.t) -> string -> Finding.t list
+(** Findings for one .cmt (allow-filtered, sorted). Interfaces, packed
+    modules, generated [.ml-gen] wrappers, and unreadable files yield []. *)
+
+val run :
+  ?classify:(string -> Classify.t) ->
+  ?dirs:string list ->
+  baseline:Baseline.t ->
+  root:string ->
+  unit ->
+  report
+(** Lint every target under [root]; [dirs] defaults to
+    [["lib"; "bin"; "bench"]]. *)
+
+val pp_report : report Fmt.t
+(** Human-readable report (findings, baseline stats, verdict). *)
+
+val report_to_json : report -> string
+(** Stable JSON encoding, findings sorted; schema ["ntcu-lint/1"]. *)
+
+val exit_code : report -> int
+(** 0 when [fresh] is empty, 1 otherwise. *)

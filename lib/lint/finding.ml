@@ -1,0 +1,56 @@
+type t = {
+  code : string;
+  file : string;
+  line : int;
+  col : int;
+  ofs : int;
+  message : string;
+}
+
+let make ~code ~file ~loc message =
+  let p = loc.Location.loc_start in
+  {
+    code;
+    file;
+    line = p.Lexing.pos_lnum;
+    col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    ofs = p.Lexing.pos_cnum;
+    message;
+  }
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = String.compare a.code b.code in
+        if c <> 0 then c else String.compare a.message b.message
+
+let equal a b = compare a b = 0
+
+let pp ppf t = Fmt.pf ppf "%s:%d:%d: %s %s" t.file t.line t.col t.code t.message
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  Printf.sprintf {|{"code": "%s", "file": "%s", "line": %d, "col": %d, "message": "%s"}|}
+    (json_escape t.code) (json_escape t.file) t.line t.col (json_escape t.message)

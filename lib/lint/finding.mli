@@ -1,0 +1,30 @@
+(** A single lint finding: a rule code anchored at a source location.
+
+    Findings are value-comparable and totally ordered so that reports are
+    deterministic regardless of the order in which rules or files run. *)
+
+type t = {
+  code : string;  (** Stable rule code, e.g. ["D001"]. *)
+  file : string;  (** Repo-relative source path, e.g. ["lib/core/node.ml"]. *)
+  line : int;  (** 1-based line. *)
+  col : int;  (** 0-based column of the offending expression. *)
+  ofs : int;  (** Absolute character offset; used for [@ntcu.allow] scoping. *)
+  message : string;
+}
+
+val make : code:string -> file:string -> loc:Location.t -> string -> t
+(** Build a finding from the location's start position. *)
+
+val compare : t -> t -> int
+(** Order by file, line, column, code, message. No polymorphic compare. *)
+
+val equal : t -> t -> bool
+
+val pp : t Fmt.t
+(** Human form: [file:line:col: CODE message]. *)
+
+val to_json : t -> string
+(** One finding as a JSON object (string fields escaped). *)
+
+val json_escape : string -> string
+(** Escape a string for inclusion in a JSON string literal. *)

@@ -9,6 +9,12 @@ type t = {
 
 let create ~lookup = { lookup; pointers = Id.Tbl.create 256 }
 
+(* Bindings of an object-keyed table in ascending Id order: Hashtbl iteration
+   order is unspecified, so every consumer that sees a list gets it sorted. *)
+let sorted_bindings tbl =
+  (Hashtbl.fold [@ntcu.allow "D002"]) (fun obj v acc -> (obj, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Id.compare a b)
+
 (* One surrogate-routing step from [table]'s owner towards [obj], resolving
    level [level]: try digit obj[level], then scan upwards (mod b) for the
    first filled entry. The self-entry guarantees the scan terminates. *)
@@ -72,12 +78,13 @@ let publish t ~storer obj =
     Ok (List.length path - 1)
 
 let unpublish t ~storer obj =
-  Id.Tbl.iter
+  (* Per-node removal of one key; no node's update observes another's. *)
+  (Id.Tbl.iter [@ntcu.allow "D002"])
     (fun _node tbl ->
       match Hashtbl.find_opt tbl obj with
       | Some storers ->
         storers := List.filter (fun s -> not (Id.equal s storer)) !storers;
-        if !storers = [] then Hashtbl.remove tbl obj
+        if List.is_empty !storers then Hashtbl.remove tbl obj
       | None -> ())
     t.pointers
 
@@ -115,14 +122,16 @@ let lookup_object t ~client obj =
 
 let pointers_at t node =
   match Id.Tbl.find_opt t.pointers node with
-  | Some tbl -> Hashtbl.fold (fun obj storers acc -> (obj, !storers) :: acc) tbl []
+  | Some tbl -> List.map (fun (obj, storers) -> (obj, !storers)) (sorted_bindings tbl)
   | None -> []
 
 let collect_objects t =
   let objects = Hashtbl.create 64 in
-  Id.Tbl.iter
+  (* Commutative set union into an object-keyed table: the result does not
+     depend on the order either loop visits bindings. *)
+  (Id.Tbl.iter [@ntcu.allow "D002"])
     (fun _node tbl ->
-      Hashtbl.iter
+      (Hashtbl.iter [@ntcu.allow "D002"])
         (fun obj storers ->
           let known = try Hashtbl.find objects obj with Not_found -> Id.Set.empty in
           Hashtbl.replace objects obj
@@ -131,24 +140,26 @@ let collect_objects t =
     t.pointers;
   objects
 
-let published_objects t =
-  Hashtbl.fold (fun obj _ acc -> obj :: acc) (collect_objects t) []
+let published_objects t = List.map fst (sorted_bindings (collect_objects t))
 
 let maintain t =
-  let objects = collect_objects t in
+  (* Republishing order decides the order storer lists are rebuilt in, which
+     is visible through [pointers_at]/[lookup_object]: walk objects in Id
+     order so maintenance is deterministic. *)
+  let objects = sorted_bindings (collect_objects t) in
   Id.Tbl.reset t.pointers;
   let republished = ref 0 in
   let first_error = ref None in
-  Hashtbl.iter
-    (fun obj storers ->
+  List.iter
+    (fun (obj, storers) ->
       let touched = ref false in
       Id.Set.iter
         (fun storer ->
           (* Departed storers have no table any more; their replicas are gone. *)
-          if t.lookup storer <> None then begin
+          if Option.is_some (t.lookup storer) then begin
             match publish t ~storer obj with
             | Ok _ -> touched := true
-            | Error e -> if !first_error = None then first_error := Some e
+            | Error e -> if Option.is_none !first_error then first_error := Some e
           end)
         storers;
       if !touched then incr republished)

@@ -23,7 +23,9 @@ let create () =
    corruption. One domain-id read and compare per call — negligible next to
    the heap operation it protects. *)
 let check_owner t op =
-  if Domain.self () <> t.owner then
+  (* Domain.id is a private int; compare through the coercion so no
+     polymorphic compare touches the abstract type. *)
+  if (Domain.self () :> int) <> (t.owner :> int) then
     invalid_arg ("Engine." ^ op ^ ": engine used from a domain other than its creator")
 
 let now t = t.clock

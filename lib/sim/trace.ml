@@ -12,7 +12,9 @@ let to_list t = List.rev t.events
 
 let equal a b = a.count = b.count && a.events = b.events
 
-let pp ppf t =
+(* Rounded display for humans only; replay/digest go through [to_lines]'s
+   lossless %h encoding. *)
+let[@ntcu.allow "D005"] pp ppf t =
   List.iter (fun (time, label) -> Fmt.pf ppf "%12.6f  %s@." time label) (to_list t)
 
 (* %h prints the exact bit pattern of the timestamp (hex float), so two lines

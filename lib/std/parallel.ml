@@ -93,7 +93,7 @@ let map t f xs =
     let job i () =
       let skip =
         Mutex.lock batch_mutex;
-        let s = !failure <> None in
+        let s = Option.is_some !failure in
         Mutex.unlock batch_mutex;
         s
       in

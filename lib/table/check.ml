@@ -73,7 +73,7 @@ let scan_violations ~limit tables =
 let violations ?(limit = 100) tables =
   if limit <= 0 then [] else scan_violations ~limit tables
 
-let is_consistent tables = violations ~limit:1 tables = []
+let is_consistent tables = List.is_empty (violations ~limit:1 tables)
 
 let next_hop_path ~lookup x y =
   let d = Id.length y in
@@ -105,6 +105,6 @@ let all_pairs_reachable tables =
       List.for_all
         (fun ty ->
           let x = Table.owner tx and y = Table.owner ty in
-          Id.equal x y || next_hop_path ~lookup x y <> None)
+          Id.equal x y || Option.is_some (next_hop_path ~lookup x y))
         tables)
     tables

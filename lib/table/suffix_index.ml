@@ -26,7 +26,7 @@ let members t suffix =
     | None -> []
   end
 
-let mem t suffix = members t suffix <> []
+let mem t suffix = not (List.is_empty (members t suffix))
 
 let witness t suffix = match members t suffix with [] -> None | id :: _ -> Some id
 

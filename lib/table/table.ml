@@ -3,6 +3,8 @@ module Params = Ntcu_id.Params
 
 type nstate = T | S
 
+let nstate_equal a b = match (a, b) with T, T | S, S -> true | (T | S), _ -> false
+
 let pp_nstate ppf = function
   | T -> Fmt.string ppf "T"
   | S -> Fmt.string ppf "S"
@@ -63,12 +65,12 @@ let set t ~level ~digit node state =
     invalid_arg
       (Fmt.str "Table.set: node %a lacks required suffix %a for (%d,%d)-entry of %a"
          Id.pp node Id.pp_suffix suffix level digit Id.pp t.owner);
-  if t.slots.(i) = None then t.filled <- t.filled + 1;
+  if Option.is_none t.slots.(i) then t.filled <- t.filled + 1;
   t.slots.(i) <- Some { node; state }
 
 let clear t ~level ~digit =
   let i = index t ~level ~digit in
-  if t.slots.(i) <> None then t.filled <- t.filled - 1;
+  if Option.is_some t.slots.(i) then t.filled <- t.filled - 1;
   t.slots.(i) <- None
 
 let set_state t ~level ~digit state =

@@ -10,6 +10,7 @@
 
 type nstate = T | S
 
+val nstate_equal : nstate -> nstate -> bool
 val pp_nstate : nstate Fmt.t
 
 type t

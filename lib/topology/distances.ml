@@ -199,7 +199,8 @@ let ensure_capacity t =
   if cached_sources t >= t.cache_sources then begin
     let entries = Array.make (Hashtbl.length t.last_use) (0, 0) in
     let i = ref 0 in
-    Hashtbl.iter
+    (* Iteration order is erased by the full sort on (stamp, src) below. *)
+    (Hashtbl.iter [@ntcu.allow "D002"])
       (fun src stamp ->
         entries.(!i) <- (stamp, src);
         incr i)
@@ -386,7 +387,8 @@ let clustered_distance t g states src dst =
    counters, so cross-domain use would corrupt silently. Parallel harnesses
    must construct (or be handed) a per-run [t]. *)
 let distance t u v =
-  if Domain.self () <> t.owner then
+  (* Domain.id is a private int; compare through the coercion (cf. Engine). *)
+  if (Domain.self () :> int) <> (t.owner :> int) then
     invalid_arg "Distances.distance: queried from a domain other than its creator";
   if u = v then 0.
   else begin

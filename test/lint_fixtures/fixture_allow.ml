@@ -1,0 +1,17 @@
+(* Whole-file suppression: the floating attribute grandfathers every listed
+   code below it, so none of the bait here may surface. *)
+
+[@@@ntcu.allow "D001 D002"]
+
+module Opaque : sig
+  type t
+
+  val v : t
+end = struct
+  type t = bool
+
+  let v = true
+end
+
+let eq = Opaque.v = Opaque.v
+let keys (tbl : (int, string) Hashtbl.t) = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []

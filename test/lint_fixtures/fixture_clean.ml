@@ -1,0 +1,9 @@
+(* No violations: every rule enabled at once must report nothing here. *)
+
+let double x = x * 2
+let greeting = "hello"
+let pick = function Some x -> x | None -> 0
+let exact x = Printf.sprintf "%h" x
+let sorted_keys (tbl : (int, string) Hashtbl.t) =
+  List.sort_uniq Int.compare (Hashtbl.to_seq_keys tbl |> List.of_seq)
+let fresh_state () = (Hashtbl.create 8 : (int, int) Hashtbl.t)

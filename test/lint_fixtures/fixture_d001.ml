@@ -1,0 +1,21 @@
+(* D001 bait: polymorphic comparison instantiated at an abstract type. Each
+   tagged line must produce exactly one finding; untagged lines none. *)
+
+module Opaque : sig
+  type t
+
+  val v : t
+end = struct
+  type t = int list
+
+  let v = [ 1; 2; 3 ]
+end
+
+let eq_abstract = Opaque.v = Opaque.v (* BAIT *)
+let ne_abstract = Opaque.v <> Opaque.v (* BAIT *)
+let cmp_abstract = compare Opaque.v Opaque.v (* BAIT *)
+let hash_abstract = Hashtbl.hash Opaque.v (* BAIT *)
+let some_abstract = Some Opaque.v = None (* BAIT-OPTION *)
+let eq_int = 1 = 2
+let eq_pair = ("a", 1) = ("b", 2)
+let eq_int_opt = Some 1 = Some 2

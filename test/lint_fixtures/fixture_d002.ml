@@ -1,0 +1,15 @@
+(* D002 bait: unordered Hashtbl iteration. The annotated site must be
+   suppressed by [@ntcu.allow]. *)
+
+let keys_unsorted (tbl : (int, string) Hashtbl.t) =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] (* BAIT *)
+
+let print_all (tbl : (int, string) Hashtbl.t) =
+  Hashtbl.iter (fun _ v -> print_string v) tbl (* BAIT *)
+
+let allowed (tbl : (int, string) Hashtbl.t) =
+  (Hashtbl.iter [@ntcu.allow "D002"]) (fun _ _ -> ()) tbl
+
+let sorted_keys (tbl : (int, string) Hashtbl.t) =
+  List.sort Int.compare
+    ((Hashtbl.fold [@ntcu.allow "D002"]) (fun k _ acc -> k :: acc) tbl [])

@@ -1,0 +1,6 @@
+(* D003 bait: wall clock and ambient Random. Random.State through an explicit
+   state is fine — determinism only needs the seed threaded. *)
+
+let wall () = Sys.time () (* BAIT *)
+let jitter () = Random.float 1.0 (* BAIT *)
+let seeded (st : Random.State.t) = Random.State.float st 1.0

@@ -1,0 +1,12 @@
+(* D004 bait: toplevel mutable state in (nominally) library code. State
+   created under a function is per-call and must not be flagged; a toplevel
+   lazy is still shared, so it must be. *)
+
+let table : (int, int) Hashtbl.t = Hashtbl.create 16 (* BAIT *)
+let counter = ref 0 (* BAIT *)
+let scratch = lazy (Buffer.create 64) (* BAIT *)
+let fresh () = ref 0
+
+module Nested = struct
+  let cache : (string, int) Hashtbl.t = Hashtbl.create 8 (* BAIT *)
+end

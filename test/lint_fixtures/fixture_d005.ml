@@ -1,0 +1,8 @@
+(* D005 bait: lossy float formatting, as it would appear in an emitter. %h is
+   exact and must not be flagged. *)
+
+let lossy x = Printf.sprintf "%f" x (* BAIT *)
+let lossy_wide x = Printf.sprintf "%12.6f" x (* BAIT *)
+let legacy x = string_of_float x (* BAIT *)
+let exact x = Printf.sprintf "%h" x
+let int_fmt n = Printf.sprintf "%d" n

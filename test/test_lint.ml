@@ -1,0 +1,162 @@
+(* ntcu-lint rule tests: each fixture module in [lint_fixtures/] seeds known
+   violations, tagged with a trailing [BAIT] marker comment on the offending
+   line. The tests scan the fixture's .cmt and assert the finding set equals
+   the marker set — exact lines, no over- or under-reporting — plus baseline
+   suppression and [@ntcu.allow] behaviour. *)
+
+module Finding = Ntcu_lint.Finding
+module Classify = Ntcu_lint.Classify
+module Baseline = Ntcu_lint.Baseline
+module Engine = Ntcu_lint.Engine
+
+let check = Alcotest.check
+
+let contains_sub s sub =
+  let slen = String.length sub and len = String.length s in
+  let rec scan i =
+    i + slen <= len && (String.equal (String.sub s i slen) sub || scan (i + 1))
+  in
+  scan 0
+
+(* The suite runs from [_build/default/test]; the other candidates let the
+   executable also be run from the repo root or [test/]. *)
+let fixture_paths name =
+  let cmt =
+    Filename.concat "lint_fixtures/.ntcu_lint_fixtures.objs/byte"
+      ("ntcu_lint_fixtures__" ^ String.capitalize_ascii name ^ ".cmt")
+  in
+  let src = Filename.concat "lint_fixtures" (name ^ ".ml") in
+  let roots = [ "."; "test"; "_build/default/test" ] in
+  match
+    List.find_opt (fun root -> Sys.file_exists (Filename.concat root cmt)) roots
+  with
+  | Some root -> (Filename.concat root cmt, Filename.concat root src)
+  | None -> Alcotest.failf "fixture cmt not found: %s" cmt
+
+let marker_lines src marker =
+  let ic = open_in src in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go lineno acc =
+        match input_line ic with
+        | line -> go (lineno + 1) (if contains_sub line marker then lineno :: acc else acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go 1 [])
+
+let cls ?(in_lib = false) ?(clock_allowed = false) ?(emitter = false) source =
+  { Classify.source; in_lib; clock_allowed; emitter }
+
+let scan ?in_lib ?clock_allowed ?emitter name =
+  let cmt, src = fixture_paths name in
+  let findings =
+    Engine.lint_cmt ~classify:(fun source -> cls ?in_lib ?clock_allowed ?emitter source) cmt
+  in
+  (findings, src)
+
+let lines_of findings = List.map (fun (f : Finding.t) -> f.line) findings
+
+let check_matches_markers ~code ?(marker = "BAIT") findings src =
+  List.iter
+    (fun (f : Finding.t) ->
+      check Alcotest.string (Printf.sprintf "code at line %d" f.line) code f.code)
+    findings;
+  check
+    Alcotest.(list int)
+    "finding lines = marker lines" (marker_lines src marker) (lines_of findings)
+
+let d001 () =
+  let findings, src = scan "fixture_d001" in
+  check_matches_markers ~code:"D001" findings src;
+  (* The option-typed site gets the Option.is_some/is_none hint. *)
+  match marker_lines src "BAIT-OPTION" with
+  | [ opt_line ] ->
+    let f = List.find (fun (f : Finding.t) -> f.line = opt_line) findings in
+    if not (contains_sub f.message "Option.is_some") then
+      Alcotest.failf "option hint missing from: %s" f.message
+  | other -> Alcotest.failf "expected 1 BAIT-OPTION marker, got %d" (List.length other)
+
+let d002 () =
+  let findings, src = scan "fixture_d002" in
+  check_matches_markers ~code:"D002" findings src
+
+let d003_fires () =
+  let findings, src = scan "fixture_d003" in
+  check_matches_markers ~code:"D003" findings src
+
+let d003_allowlisted () =
+  let findings, _ = scan ~clock_allowed:true "fixture_d003" in
+  check Alcotest.int "no findings under the harness/bench allowlist" 0
+    (List.length findings)
+
+let d004_fires () =
+  let findings, src = scan ~in_lib:true "fixture_d004" in
+  check_matches_markers ~code:"D004" findings src
+
+let d004_outside_lib () =
+  let findings, _ = scan "fixture_d004" in
+  check Alcotest.int "toplevel state outside lib/ is not flagged" 0 (List.length findings)
+
+let d005_fires () =
+  let findings, src = scan ~emitter:true "fixture_d005" in
+  check_matches_markers ~code:"D005" findings src
+
+let d005_non_emitter () =
+  let findings, _ = scan "fixture_d005" in
+  check Alcotest.int "float formatting outside emitters is not flagged" 0
+    (List.length findings)
+
+let clean_fixture () =
+  let findings, _ = scan ~in_lib:true ~emitter:true "fixture_clean" in
+  check Alcotest.int "clean fixture" 0 (List.length findings)
+
+let whole_file_allow () =
+  let findings, _ = scan ~in_lib:true "fixture_allow" in
+  check Alcotest.int "floating [@@@ntcu.allow] suppresses the file" 0
+    (List.length findings)
+
+let baseline_suppression () =
+  let findings, _ = scan "fixture_d003" in
+  match findings with
+  | first :: rest ->
+    let b = Baseline.of_lines [ Baseline.line_of_finding first ] in
+    let fresh, baselined = Baseline.partition b findings in
+    check Alcotest.int "one baselined" 1 (List.length baselined);
+    check Alcotest.int "rest fresh" (List.length rest) (List.length fresh);
+    check Alcotest.bool "mem finds the entry" true (Baseline.mem b first);
+    check Alcotest.int "no unused entries" 0 (List.length (Baseline.unused b findings));
+    (* A stale line matching nothing is reported as unused, not as an error. *)
+    let stale = Baseline.of_lines [ "D001 lib/nowhere.ml:1  # gone" ] in
+    check Alcotest.int "stale entry is unused" 1
+      (List.length (Baseline.unused stale findings))
+  | [] -> Alcotest.fail "fixture_d003 produced no findings to baseline"
+
+let exit_codes () =
+  let findings, _ = scan "fixture_d003" in
+  let report fresh =
+    { Engine.fresh; baselined = []; unused_baseline = []; files_scanned = 1 }
+  in
+  check Alcotest.int "clean exits 0" 0 (Engine.exit_code (report []));
+  check Alcotest.int "fresh findings exit 1" 1 (Engine.exit_code (report findings));
+  let json = Engine.report_to_json (report findings) in
+  check Alcotest.bool "json carries the schema tag" true (contains_sub json "ntcu-lint/1")
+
+let suites =
+  [
+    ( "lint",
+      [
+        Alcotest.test_case "D001 polymorphic compare at abstract types" `Quick d001;
+        Alcotest.test_case "D002 unordered Hashtbl iteration" `Quick d002;
+        Alcotest.test_case "D003 wall clock / global Random" `Quick d003_fires;
+        Alcotest.test_case "D003 harness/bench allowlist" `Quick d003_allowlisted;
+        Alcotest.test_case "D004 toplevel mutable state" `Quick d004_fires;
+        Alcotest.test_case "D004 scoped to lib/" `Quick d004_outside_lib;
+        Alcotest.test_case "D005 lossy float formatting" `Quick d005_fires;
+        Alcotest.test_case "D005 scoped to emitters" `Quick d005_non_emitter;
+        Alcotest.test_case "clean fixture stays clean" `Quick clean_fixture;
+        Alcotest.test_case "whole-file ntcu.allow" `Quick whole_file_allow;
+        Alcotest.test_case "baseline suppression" `Quick baseline_suppression;
+        Alcotest.test_case "exit codes and JSON schema" `Quick exit_codes;
+      ] );
+  ]
