@@ -1,0 +1,914 @@
+module Id = Ntcu_id.Id
+module Params = Ntcu_id.Params
+module Rng = Ntcu_std.Rng
+module Engine = Ntcu_sim.Engine
+module Arrivals = Ntcu_sim.Arrivals
+module Latency = Ntcu_sim.Latency
+module Network = Ntcu_core.Network
+module Node = Ntcu_core.Node
+module Stats = Ntcu_core.Stats
+module Message = Ntcu_core.Message
+module Table = Ntcu_table.Table
+module Check = Ntcu_table.Check
+module Route = Ntcu_routing.Route
+module Leave_protocol = Ntcu_extensions.Leave_protocol
+module Online_repair = Ntcu_extensions.Online_repair
+module Workload = Ntcu_harness.Workload
+module Experiment = Ntcu_harness.Experiment
+module Json = Ntcu_harness.Report.Json
+
+type config = {
+  b : int;
+  d : int;
+  n : int;
+  duration : float;
+  half_life : float;
+  dist : Session.kind;
+  crash_fraction : float;
+  loss : float;
+  sample_every : float;
+  maintenance_every : float;
+  lookups_per_sample : int;
+  seed : int;
+  debug_timers : bool;
+}
+
+let default =
+  {
+    b = 16;
+    d = 8;
+    n = 1000;
+    duration = 14_400_000.;
+    half_life = 3_600_000.;
+    dist = Session.Exponential;
+    crash_fraction = 0.5;
+    loss = 0.01;
+    sample_every = 60_000.;
+    maintenance_every = 30_000.;
+    lookups_per_sample = 64;
+    seed = 1;
+    debug_timers = false;
+  }
+
+let smoke =
+  {
+    default with
+    n = 60;
+    duration = 120_000.;
+    half_life = 60_000.;
+    sample_every = 10_000.;
+    maintenance_every = 5_000.;
+    lookups_per_sample = 16;
+    debug_timers = true;
+  }
+
+let ln2 = Float.log 2.
+
+let session_mean cfg = cfg.half_life /. ln2
+
+let arrival_rate cfg = float_of_int cfg.n /. session_mean cfg
+
+(* Transport constants of the churn regime. [rto] clears a full round trip of
+   the 1-100 ms latency draw; 5 retries keep the worst-case suspicion delay
+   (the detection budget below) under 16 s of virtual time, so the repair
+   process can plausibly race an hours-scale half-life. *)
+let rto = 250.
+
+let backoff = 2.
+
+let max_retries = 5
+
+let detection_budget _cfg =
+  rto *. ((backoff ** float_of_int (max_retries + 1)) -. 1.) /. (backoff -. 1.)
+
+let repair_latency cfg = cfg.maintenance_every +. detection_budget cfg
+
+let predicted_half_life cfg =
+  repair_latency cfg *. (Float.log (float_of_int cfg.n) /. ln2)
+
+type sample = {
+  t : float;
+  live : int;
+  s_nodes : int;
+  joining : int;
+  entries : int;
+  violations : int;
+  transitional : int;
+  holes : int;
+  debt : float;
+  unscrubbed : int;
+  lookups : int;
+  lookups_ok : int;
+  window_msgs : int;
+  window_bytes : int;
+  window_retrans : int;
+  suspected_live : int;
+  joins_started : int;
+  joins_skipped : int;
+  leaves : int;
+  crashes : int;
+  aborted : int;
+}
+
+let violation_cap = 5000
+
+type summary = {
+  samples : int;
+  end_time : float;
+  mean_live : float;
+  min_live : int;
+  max_live : int;
+  mean_joining : float;
+  mean_violations : float;
+  max_violations : int;
+  mean_holes : float;
+  max_holes : int;
+  mean_debt : float;
+  max_debt : float;
+  lookup_success : float;
+  msgs_per_node_s : float;
+  suspected_live_max : int;
+  tail_mean_live : float;
+  tail_mean_joining : float;
+  tail_lookup_success : float;
+  tail_mean_violations : float;
+  tail_mean_holes : float;
+  tail_stale_fraction : float;
+  joins_started : int;
+  joins_skipped : int;
+  leaves : int;
+  crashes : int;
+  aborted : int;
+  stuck_reaped : int;
+  departures_cancelled : int;
+  final_live : int;
+  final_in_system : bool;
+  final_violations : int;
+  final_holes : int;
+  final_consistent : bool;
+  drained : bool;
+  events : int;
+  leave_report : Leave_protocol.report;
+  repair_report : Online_repair.report;
+}
+
+type result = { config : config; series : sample list; summary : summary }
+
+type t = {
+  cfg : config;
+  p : Params.t;
+  dist : Session.dist;
+  network : Network.t;
+  lp : Leave_protocol.t;
+  repair : Online_repair.t;
+  seeds : Id.t list;
+  id_rng : Rng.t;  (* identities, gateways, leave-vs-crash draws *)
+  arrival_rng : Rng.t;  (* Poisson interarrival times *)
+  session_rng : Rng.t;  (* session-time draws *)
+  lookup_rng : Rng.t;  (* sampled lookup pairs *)
+  departed_at : float Id.Tbl.t;  (* departure time of every departed id *)
+  mutable dep_handles : Engine.handle list;
+  mutable dep_pending : int;
+  mutable sources : Arrivals.t list;
+  mutable stopped : bool;
+  mutable joins_started : int;
+  mutable joins_skipped : int;
+  mutable leaves : int;
+  mutable crashes : int;
+  mutable aborted : int;
+  mutable stuck_reaped : int;
+  mutable departures_cancelled : int;
+  mutable samples_rev : sample list;
+  mutable last_window : Stats.window;
+  mutable finished : bool;
+}
+
+let net st = st.network
+
+let initial st = st.seeds
+
+let dead st id = (not (Network.mem st.network id)) || Network.is_failed st.network id
+
+let members st =
+  List.filter
+    (fun id ->
+      match Network.node st.network id with
+      | Some nd -> Node.status_equal (Node.status nd) Node.In_system
+      | None -> false)
+    (Network.live_ids st.network)
+
+(* Every (holder, victim) pair where a live table's primary entry names a
+   departed node, one per victim per holder, in registration-then-table
+   order — a deterministic scan. *)
+let dead_references st =
+  let refs = ref [] in
+  List.iter
+    (fun holder ->
+      match Network.node st.network holder with
+      | None -> ()
+      | Some nd ->
+        let seen = Id.Tbl.create 8 in
+        Table.iter (Node.table nd) (fun ~level ~digit id state ->
+            if
+              (not (Id.equal id holder))
+              && dead st id
+              && not (Id.Tbl.mem seen id)
+            then begin
+              Id.Tbl.add seen id ();
+              refs := (holder, id, level, digit, state) :: !refs
+            end))
+    (Network.live_ids st.network);
+  List.rev !refs
+
+(* One liveness probe through the reliable transport, standing in for the
+   holder's periodic heartbeat: the retry budget exhausts against the dead
+   victim and the holder's [on_suspect] scrubs and refills its table (plus,
+   on the first report, the network-wide online-repair dissemination). *)
+let probe st (holder, victim, level, digit, state) =
+  Network.inject st.network ~src:holder
+    [ { Node.dst = victim; msg = Message.Rv_ngh_noti { level; digit; recorded = state } } ]
+
+let reap st refs =
+  let referenced = Id.Tbl.create 16 in
+  List.iter (fun (_, v, _, _, _) -> Id.Tbl.replace referenced v ()) refs;
+  List.iter
+    (fun fid ->
+      if not (Id.Tbl.mem referenced fid) then Network.remove st.network fid)
+    (Network.failed_ids st.network)
+
+let maintenance st =
+  let refs = dead_references st in
+  List.iter (probe st) refs;
+  reap st refs
+
+let take_sample st ~now =
+  let cfg = st.cfg in
+  let network = st.network in
+  let live_ids = Network.live_ids network in
+  let live = List.length live_ids in
+  let member_ids = members st in
+  let s_nodes = List.length member_ids in
+  let joining = live - s_nodes in
+  let tables =
+    List.map (fun id -> Node.table (Network.node_exn network id)) member_ids
+  in
+  let entries = List.fold_left (fun a tb -> a + Table.filled_count tb) 0 tables in
+  let viols = Check.violations ~limit:violation_cap tables in
+  let fnws = ref 0 and transitional = ref 0 and holes = ref 0 in
+  let debt = ref 0. in
+  let dead_seen = Id.Tbl.create 16 in
+  List.iter
+    (function
+      | Check.False_negative _ | Check.Wrong_suffix _ -> incr fnws
+      | Check.Dangling { stored; _ } ->
+        if Network.mem network stored && not (Network.is_failed network stored)
+        then incr transitional (* a live mid-join node: repair in flight *)
+        else begin
+          incr holes;
+          if not (Id.Tbl.mem dead_seen stored) then Id.Tbl.replace dead_seen stored ();
+          let age =
+            match Id.Tbl.find_opt st.departed_at stored with
+            | Some at -> now -. at
+            | None -> 0.
+          in
+          debt := !debt +. age
+        end)
+    viols;
+  let lookups = if s_nodes >= 2 then cfg.lookups_per_sample else 0 in
+  let lookups_ok = ref 0 in
+  if lookups > 0 then begin
+    let arr = Array.of_list member_ids in
+    let alive id = Network.mem network id && not (Network.is_failed network id) in
+    let lookup id = Option.map Node.table (Network.node network id) in
+    for _ = 1 to lookups do
+      let src = Rng.pick st.lookup_rng arr in
+      let dst = Rng.pick st.lookup_rng arr in
+      match Route.route_resilient ~lookup ~alive ~src ~dst with
+      | Ok _ -> incr lookups_ok
+      | Error _ -> ()
+    done
+  end;
+  let g = Network.global_stats network in
+  let w = Stats.since g st.last_window in
+  st.last_window <- Stats.window g;
+  let suspected_live =
+    List.fold_left
+      (fun a id -> if Network.is_suspected network id then a + 1 else a)
+      0 live_ids
+  in
+  let s : sample =
+    {
+      t = now;
+      live;
+      s_nodes;
+      joining;
+      entries;
+      violations = !fnws;
+      transitional = !transitional;
+      holes = !holes;
+      debt = !debt;
+      unscrubbed = Id.Tbl.length dead_seen;
+      lookups;
+      lookups_ok = !lookups_ok;
+      window_msgs = w.Stats.w_sent;
+      window_bytes = w.Stats.w_bytes_sent;
+      window_retrans = w.Stats.w_retransmissions;
+      suspected_live;
+      joins_started = st.joins_started;
+      joins_skipped = st.joins_skipped;
+      leaves = st.leaves;
+      crashes = st.crashes;
+      aborted = st.aborted;
+    }
+  in
+  st.samples_rev <- s :: st.samples_rev
+
+let schedule_session st id =
+  (* Draw before acting, in a fixed order, so the session and coin streams
+     are pure functions of the seed whatever the network does. *)
+  let session = Session.sample st.dist st.session_rng in
+  let crash = Rng.float st.id_rng 1. < st.cfg.crash_fraction in
+  let engine = Network.engine st.network in
+  st.dep_pending <- st.dep_pending + 1;
+  let h =
+    Engine.schedule_cancellable engine ~delay:session (fun () ->
+        st.dep_pending <- st.dep_pending - 1;
+        if (not st.stopped) && not (dead st id) then begin
+          let now = Engine.now engine in
+          let nd = Network.node_exn st.network id in
+          if Node.status_equal (Node.status nd) Node.In_system then
+            if crash then begin
+              st.crashes <- st.crashes + 1;
+              Id.Tbl.replace st.departed_at id now;
+              Network.fail st.network id
+            end
+            else begin
+              st.leaves <- st.leaves + 1;
+              Id.Tbl.replace st.departed_at id now;
+              Leave_protocol.request_leave st.lp id
+            end
+          else begin
+            (* Still mid-join: a polite leave needs an installed table, so a
+               departing joiner can only crash. *)
+            st.aborted <- st.aborted + 1;
+            Id.Tbl.replace st.departed_at id now;
+            Network.fail st.network id
+          end
+        end)
+  in
+  st.dep_handles <- h :: st.dep_handles
+
+let rec fresh_id st =
+  let id = Id.random st.id_rng st.p in
+  (* Never reuse a departed identity: a stale reference to the old
+     incarnation must stay detectably dead. *)
+  if Network.mem st.network id || Id.Tbl.mem st.departed_at id then fresh_id st
+  else id
+
+let do_join st =
+  match members st with
+  | [] -> st.joins_skipped <- st.joins_skipped + 1
+  | ms ->
+    let gateway = Rng.pick st.id_rng (Array.of_list ms) in
+    let id = fresh_id st in
+    Network.start_join st.network ~id ~gateway ();
+    st.joins_started <- st.joins_started + 1;
+    schedule_session st id
+
+let stop_window st =
+  let now = Engine.now (Network.engine st.network) in
+  take_sample st ~now;
+  List.iter Arrivals.stop st.sources;
+  st.stopped <- true;
+  st.departures_cancelled <- st.dep_pending;
+  let engine = Network.engine st.network in
+  List.iter (fun h -> Engine.cancel engine h) st.dep_handles;
+  st.dep_handles <- []
+
+let prepare ?(record_trace = false) cfg =
+  if cfg.n < 2 then invalid_arg "Churn.prepare: n must be >= 2";
+  if cfg.duration <= 0. then invalid_arg "Churn.prepare: duration must be positive";
+  if cfg.half_life <= 0. then invalid_arg "Churn.prepare: half_life must be positive";
+  if cfg.sample_every <= 0. || cfg.maintenance_every <= 0. then
+    invalid_arg "Churn.prepare: periods must be positive";
+  if cfg.crash_fraction < 0. || cfg.crash_fraction > 1. then
+    invalid_arg "Churn.prepare: crash_fraction must be in [0, 1]";
+  let p = Params.make ~b:cfg.b ~d:cfg.d in
+  let id_rng = Rng.create cfg.seed in
+  let seeds = Workload.distinct_ids id_rng p ~n:cfg.n in
+  let latency = Latency.uniform ~seed:(cfg.seed + 1) ~lo:1. ~hi:100. in
+  let reliability =
+    { Network.default_reliability with rto; backoff; max_retries; seed = cfg.seed + 4 }
+  in
+  let network =
+    Network.create ~latency ~record_trace ~loss:(cfg.loss, cfg.seed + 3) ~reliability p
+  in
+  let engine = Network.engine network in
+  if cfg.debug_timers then Engine.set_debug_timers engine true;
+  let repair = Online_repair.attach network in
+  let lp =
+    Leave_protocol.create
+      ~latency:(Latency.uniform ~seed:(cfg.seed + 5) ~lo:1. ~hi:10.)
+      network
+  in
+  Network.seed_consistent network ~seed:(cfg.seed + 2) seeds;
+  let st =
+    {
+      cfg;
+      p;
+      dist = Session.make cfg.dist ~mean:(session_mean cfg);
+      network;
+      lp;
+      repair;
+      seeds;
+      id_rng;
+      arrival_rng = Rng.create (cfg.seed + 6);
+      session_rng = Rng.create (cfg.seed + 7);
+      lookup_rng = Rng.create (cfg.seed + 8);
+      departed_at = Id.Tbl.create 256;
+      dep_handles = [];
+      dep_pending = 0;
+      sources = [];
+      stopped = false;
+      joins_started = 0;
+      joins_skipped = 0;
+      leaves = 0;
+      crashes = 0;
+      aborted = 0;
+      stuck_reaped = 0;
+      departures_cancelled = 0;
+      samples_rev = [];
+      last_window = Stats.window (Network.global_stats network);
+      finished = false;
+    }
+  in
+  (* The initial members hold sessions too. Full sessions are drawn at time
+     zero rather than equilibrium residual lives — exact for the memoryless
+     exponential, a mild warmup bias for Pareto and fixed. *)
+  List.iter (fun id -> schedule_session st id) seeds;
+  let arrivals =
+    Arrivals.start engine
+      ~next:(Arrivals.poisson ~rate:(arrival_rate cfg) st.arrival_rng)
+      (fun ~now:_ -> if not st.stopped then do_join st)
+  in
+  let maint =
+    Arrivals.start engine ~first:cfg.maintenance_every
+      ~next:(Arrivals.every cfg.maintenance_every)
+      (fun ~now:_ -> if not st.stopped then maintenance st)
+  in
+  let sampler =
+    Arrivals.start engine ~first:cfg.sample_every
+      ~next:(Arrivals.every cfg.sample_every)
+      (fun ~now -> if (not st.stopped) && now < cfg.duration then take_sample st ~now)
+  in
+  st.sources <- [ arrivals; maint; sampler ];
+  (* The window-closing event. Scheduled before any source re-arms, so at a
+     time tie it fires first, takes the last in-window sample itself and
+     cancels the sources' pending events. *)
+  Engine.schedule_at engine ~time:cfg.duration (fun () -> stop_window st);
+  st
+
+let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl
+
+let summarize st ~final_live ~final_in_system ~final_violations ~final_holes ~drained =
+  let network = st.network in
+  let engine = Network.engine network in
+  let samples = List.rev st.samples_rev in
+  let k = List.length samples in
+  let fk = float_of_int (max k 1) in
+  let sumf f = List.fold_left (fun a s -> a +. f s) 0. samples in
+  let sumi f = List.fold_left (fun a s -> a + f s) 0 samples in
+  let maxi f = List.fold_left (fun a s -> max a (f s)) 0 samples in
+  let maxf f = List.fold_left (fun a s -> Float.max a (f s)) 0. samples in
+  let min_live =
+    List.fold_left (fun a s -> min a s.live) (match samples with [] -> 0 | s :: _ -> s.live) samples
+  in
+  let tail = drop (k / 2) samples in
+  let tk = float_of_int (max (List.length tail) 1) in
+  let tsumf f = List.fold_left (fun a s -> a +. f s) 0. tail in
+  let tsumi f = List.fold_left (fun a s -> a + f s) 0 tail in
+  let pooled ok total = if total = 0 then 1.0 else float_of_int ok /. float_of_int total in
+  let rate_sum, _ =
+    List.fold_left
+      (fun (acc, prev) s ->
+        let dt = s.t -. prev in
+        let r =
+          if s.live > 0 && dt > 0. then
+            float_of_int s.window_msgs /. float_of_int s.live /. (dt /. 1000.)
+          else 0.
+        in
+        (acc +. r, s.t))
+      (0., 0.) samples
+  in
+  let tail_entries = tsumi (fun s -> s.entries) in
+  let tail_stale = tsumi (fun s -> s.violations + s.holes) in
+  {
+    samples = k;
+    end_time = Engine.now engine;
+    mean_live = sumf (fun s -> float_of_int s.live) /. fk;
+    min_live;
+    max_live = maxi (fun s -> s.live);
+    mean_joining = sumf (fun s -> float_of_int s.joining) /. fk;
+    mean_violations = sumf (fun s -> float_of_int s.violations) /. fk;
+    max_violations = maxi (fun s -> s.violations);
+    mean_holes = sumf (fun s -> float_of_int s.holes) /. fk;
+    max_holes = maxi (fun s -> s.holes);
+    mean_debt = sumf (fun s -> s.debt) /. fk;
+    max_debt = maxf (fun s -> s.debt);
+    lookup_success = pooled (sumi (fun s -> s.lookups_ok)) (sumi (fun s -> s.lookups));
+    msgs_per_node_s = rate_sum /. fk;
+    suspected_live_max = maxi (fun s -> s.suspected_live);
+    tail_mean_live =
+      (match tail with [] -> float_of_int final_live | _ -> tsumf (fun s -> float_of_int s.live) /. tk);
+    tail_mean_joining = tsumf (fun s -> float_of_int s.joining) /. tk;
+    tail_lookup_success = pooled (tsumi (fun s -> s.lookups_ok)) (tsumi (fun s -> s.lookups));
+    tail_mean_violations = tsumf (fun s -> float_of_int s.violations) /. tk;
+    tail_mean_holes = tsumf (fun s -> float_of_int s.holes) /. tk;
+    tail_stale_fraction =
+      (if tail_entries = 0 then 0. else float_of_int tail_stale /. float_of_int tail_entries);
+    joins_started = st.joins_started;
+    joins_skipped = st.joins_skipped;
+    leaves = st.leaves;
+    crashes = st.crashes;
+    aborted = st.aborted;
+    stuck_reaped = st.stuck_reaped;
+    departures_cancelled = st.departures_cancelled;
+    final_live;
+    final_in_system;
+    final_violations;
+    final_holes;
+    final_consistent = final_violations = 0 && final_holes = 0;
+    drained;
+    events = Network.messages_delivered network;
+    leave_report = Leave_protocol.report st.lp;
+    repair_report = Online_repair.report st.repair;
+  }
+
+let finish st =
+  if st.finished then invalid_arg "Churn.finish: already finished";
+  st.finished <- true;
+  let network = st.network in
+  (* Run the whole steady-state window (the stop event fires at [duration])
+     and drain in-flight joins, leaves and repairs to quiescence. *)
+  Network.run network;
+  (* A joiner can wedge if its gateway died before the first reply —
+     assumption (ii), which no protocol survives. A deployment would time the
+     join out and retry; here the zombie is crashed and repaired away. *)
+  List.iter
+    (fun nd ->
+      let id = Node.id nd in
+      if Network.mem network id && not (Network.is_failed network id) then begin
+        st.stuck_reaped <- st.stuck_reaped + 1;
+        Id.Tbl.replace st.departed_at id (Engine.now (Network.engine network));
+        Network.fail network id
+      end)
+    (Network.stuck_joiners network);
+  (* Eventual detection for everything still dangling: probe, drain, repeat
+     while a live table references a departed node (a refill can itself name
+     a dead node, so iterate; the round cap only guards collapse states). *)
+  let rec cleanup rounds =
+    match dead_references st with
+    | [] -> ()
+    | _ when rounds >= 64 -> ()
+    | refs ->
+      List.iter (probe st) refs;
+      Network.run network;
+      cleanup (rounds + 1)
+  in
+  cleanup 0;
+  reap st (dead_references st);
+  let live_ids = Network.live_ids network in
+  let final_live = List.length live_ids in
+  let final_in_system =
+    List.for_all
+      (fun id ->
+        Node.status_equal (Node.status (Network.node_exn network id)) Node.In_system)
+      live_ids
+  in
+  let tables = List.map (fun id -> Node.table (Network.node_exn network id)) live_ids in
+  let fviols = Check.violations ~limit:violation_cap tables in
+  let final_violations, final_holes =
+    List.fold_left
+      (fun (v, h) viol ->
+        match viol with
+        | Check.False_negative _ | Check.Wrong_suffix _ -> (v + 1, h)
+        | Check.Dangling _ -> (v, h + 1))
+      (0, 0) fviols
+  in
+  let drained = Network.is_quiescent network in
+  let summary =
+    summarize st ~final_live ~final_in_system ~final_violations ~final_holes ~drained
+  in
+  { config = st.cfg; series = List.rev st.samples_rev; summary }
+
+let run ?record_trace cfg = finish (prepare ?record_trace cfg)
+
+let health cfg s =
+  let n = float_of_int cfg.n in
+  let r = [] in
+  let r = if s.tail_mean_live < 0.75 *. n || s.tail_mean_live > 1.25 *. n then "size" :: r else r in
+  let r = if s.tail_mean_joining > 0.25 *. n then "backlog" :: r else r in
+  let r = if s.tail_lookup_success < 0.9 then "lookup" :: r else r in
+  let r = if s.tail_stale_fraction > 0.02 then "stale" :: r else r in
+  let r = if not (s.drained && s.final_in_system) then "liveness" :: r else r in
+  List.rev r
+
+let ok ?(claim = Experiment.Strict) result =
+  let s = result.summary in
+  let n = float_of_int result.config.n in
+  let size_ok = s.tail_mean_live >= 0.75 *. n && s.tail_mean_live <= 1.25 *. n in
+  let base = s.drained && s.final_in_system && s.final_live > 0 && size_ok in
+  match claim with
+  | Experiment.Strict -> base && s.final_consistent
+  | Experiment.Best_effort -> base
+
+type point = {
+  p_half_life : float;
+  p_seed : int;
+  p_summary : summary;
+  p_reasons : string list;
+}
+
+type sweep_result = {
+  sweep_base : config;
+  points : point list;
+  tolerated : float option;
+  collapse : float option;
+  predicted : float;
+}
+
+let sweep pool ~base ~points =
+  if points < 1 then invalid_arg "Churn.sweep: points must be >= 1";
+  let cfgs =
+    List.init points (fun i ->
+        {
+          base with
+          half_life = base.half_life /. (2. ** float_of_int i);
+          seed = base.seed + (97 * i);
+        })
+  in
+  let pts =
+    Ntcu_std.Parallel.map pool
+      (fun cfg ->
+        let r = run cfg in
+        {
+          p_half_life = cfg.half_life;
+          p_seed = cfg.seed;
+          p_summary = r.summary;
+          p_reasons = health cfg r.summary;
+        })
+      cfgs
+  in
+  let rec split_prefix acc = function
+    | p :: rest when List.is_empty p.p_reasons -> split_prefix (p :: acc) rest
+    | rest -> (acc, rest)
+  in
+  let healthy_rev, remainder = split_prefix [] pts in
+  let tolerated = match healthy_rev with [] -> None | p :: _ -> Some p.p_half_life in
+  let collapse = match remainder with [] -> None | p :: _ -> Some p.p_half_life in
+  { sweep_base = base; points = pts; tolerated; collapse; predicted = predicted_half_life base }
+
+(* {1 JSON} *)
+
+let config_json c =
+  Json.Obj
+    [
+      ("b", Json.Int c.b);
+      ("d", Json.Int c.d);
+      ("n", Json.Int c.n);
+      ("duration", Json.Float c.duration);
+      ("half_life", Json.Float c.half_life);
+      ("dist", Json.String (Session.kind_name c.dist));
+      ("crash_fraction", Json.Float c.crash_fraction);
+      ("loss", Json.Float c.loss);
+      ("sample_every", Json.Float c.sample_every);
+      ("maintenance_every", Json.Float c.maintenance_every);
+      ("lookups_per_sample", Json.Int c.lookups_per_sample);
+      ("seed", Json.Int c.seed);
+      ("detection_budget", Json.Float (detection_budget c));
+      ("repair_latency", Json.Float (repair_latency c));
+      ("predicted_half_life", Json.Float (predicted_half_life c));
+    ]
+
+let sample_json s =
+  Json.Obj
+    [
+      ("t", Json.Float s.t);
+      ("live", Json.Int s.live);
+      ("s_nodes", Json.Int s.s_nodes);
+      ("joining", Json.Int s.joining);
+      ("entries", Json.Int s.entries);
+      ("violations", Json.Int s.violations);
+      ("transitional", Json.Int s.transitional);
+      ("holes", Json.Int s.holes);
+      ("debt", Json.Float s.debt);
+      ("unscrubbed", Json.Int s.unscrubbed);
+      ("lookups", Json.Int s.lookups);
+      ("lookups_ok", Json.Int s.lookups_ok);
+      ("window_msgs", Json.Int s.window_msgs);
+      ("window_bytes", Json.Int s.window_bytes);
+      ("window_retrans", Json.Int s.window_retrans);
+      ("suspected_live", Json.Int s.suspected_live);
+      ("joins_started", Json.Int s.joins_started);
+      ("joins_skipped", Json.Int s.joins_skipped);
+      ("leaves", Json.Int s.leaves);
+      ("crashes", Json.Int s.crashes);
+      ("aborted", Json.Int s.aborted);
+    ]
+
+let leave_json (r : Leave_protocol.report) =
+  Json.Obj
+    [
+      ("departed", Json.Int r.departed);
+      ("messages", Json.Int r.messages);
+      ("installed", Json.Int r.installed);
+      ("fallback_local", Json.Int r.fallback_local);
+      ("fallback_flood", Json.Int r.fallback_flood);
+      ("emptied", Json.Int r.emptied);
+    ]
+
+let repair_json (r : Online_repair.report) =
+  Json.Obj
+    [
+      ("suspicions", Json.Int r.suspicions);
+      ("scrubbed", Json.Int r.scrubbed);
+      ("promoted", Json.Int r.promoted);
+      ("refilled_local", Json.Int r.refilled_local);
+      ("refilled_flood", Json.Int r.refilled_flood);
+      ("emptied", Json.Int r.emptied);
+      ("tables_consulted", Json.Int r.tables_consulted);
+    ]
+
+let summary_json s =
+  Json.Obj
+    [
+      ("samples", Json.Int s.samples);
+      ("end_time", Json.Float s.end_time);
+      ("mean_live", Json.Float s.mean_live);
+      ("min_live", Json.Int s.min_live);
+      ("max_live", Json.Int s.max_live);
+      ("mean_joining", Json.Float s.mean_joining);
+      ("mean_violations", Json.Float s.mean_violations);
+      ("max_violations", Json.Int s.max_violations);
+      ("mean_holes", Json.Float s.mean_holes);
+      ("max_holes", Json.Int s.max_holes);
+      ("mean_debt", Json.Float s.mean_debt);
+      ("max_debt", Json.Float s.max_debt);
+      ("lookup_success", Json.Float s.lookup_success);
+      ("msgs_per_node_s", Json.Float s.msgs_per_node_s);
+      ("suspected_live_max", Json.Int s.suspected_live_max);
+      ("tail_mean_live", Json.Float s.tail_mean_live);
+      ("tail_mean_joining", Json.Float s.tail_mean_joining);
+      ("tail_lookup_success", Json.Float s.tail_lookup_success);
+      ("tail_mean_violations", Json.Float s.tail_mean_violations);
+      ("tail_mean_holes", Json.Float s.tail_mean_holes);
+      ("tail_stale_fraction", Json.Float s.tail_stale_fraction);
+      ("joins_started", Json.Int s.joins_started);
+      ("joins_skipped", Json.Int s.joins_skipped);
+      ("leaves", Json.Int s.leaves);
+      ("crashes", Json.Int s.crashes);
+      ("aborted", Json.Int s.aborted);
+      ("stuck_reaped", Json.Int s.stuck_reaped);
+      ("departures_cancelled", Json.Int s.departures_cancelled);
+      ("final_live", Json.Int s.final_live);
+      ("final_in_system", Json.Bool s.final_in_system);
+      ("final_violations", Json.Int s.final_violations);
+      ("final_holes", Json.Int s.final_holes);
+      ("final_consistent", Json.Bool s.final_consistent);
+      ("drained", Json.Bool s.drained);
+      ("events", Json.Int s.events);
+      ("leave", leave_json s.leave_report);
+      ("repair", repair_json s.repair_report);
+    ]
+
+let result_json r =
+  Json.Obj
+    [
+      ("config", config_json r.config);
+      ("summary", summary_json r.summary);
+      ("series", Json.List (List.map sample_json r.series));
+    ]
+
+let point_json p =
+  Json.Obj
+    [
+      ("half_life", Json.Float p.p_half_life);
+      ("seed", Json.Int p.p_seed);
+      ("holds", Json.Bool (List.is_empty p.p_reasons));
+      ("reasons", Json.List (List.map (fun r -> Json.String r) p.p_reasons));
+      ("summary", summary_json p.p_summary);
+    ]
+
+let opt_float = function None -> Json.Null | Some f -> Json.Float f
+
+let sweep_json w =
+  Json.Obj
+    [
+      ("base", config_json w.sweep_base);
+      ("points", Json.List (List.map point_json w.points));
+      ("tolerated", opt_float w.tolerated);
+      ("collapse", opt_float w.collapse);
+      ("predicted", Json.Float w.predicted);
+      ( "measured_over_predicted",
+        match w.tolerated with
+        | Some hl when w.predicted > 0. -> Json.Float (hl /. w.predicted)
+        | _ -> Json.Null );
+    ]
+
+let bench_json ?sweep r =
+  Json.Obj
+    ([
+       ("schema", Json.String "ntcu-bench-churn/1");
+       ("config", config_json r.config);
+       ("summary", summary_json r.summary);
+       ("series", Json.List (List.map sample_json r.series));
+     ]
+    @ match sweep with None -> [] | Some w -> [ ("sweep", sweep_json w) ])
+
+(* {1 Plain text} *)
+
+let pp_summary ppf s =
+  Fmt.pf ppf
+    "@[<v>%d samples, end %.1f s virtual@,\
+     live mean %.1f (min %d max %d), joining mean %.1f@,\
+     violations mean %.2f (max %d), holes mean %.2f (max %d)@,\
+     repair debt mean %.0f ms (max %.0f ms)@,\
+     lookup success %.4f (tail %.4f), msgs/node/s %.2f, suspected-live max %d@,\
+     arrivals %d (%d skipped), leaves %d, crashes %d, aborted %d, stuck reaped %d, \
+     sessions cancelled %d@,\
+     final: live %d, all in_system %b, %d violations + %d holes, drained %b, %d messages@,\
+     leave: %a@,\
+     repair: %a@]"
+    s.samples (s.end_time /. 1000.) s.mean_live s.min_live s.max_live s.mean_joining
+    s.mean_violations s.max_violations s.mean_holes s.max_holes s.mean_debt s.max_debt
+    s.lookup_success s.tail_lookup_success s.msgs_per_node_s s.suspected_live_max
+    s.joins_started s.joins_skipped s.leaves s.crashes s.aborted s.stuck_reaped
+    s.departures_cancelled s.final_live s.final_in_system s.final_violations s.final_holes
+    s.drained s.events Leave_protocol.pp_report s.leave_report Online_repair.pp_report
+    s.repair_report
+
+let series_rows series =
+  let k = List.length series in
+  let stride = max 1 ((k + 11) / 12) in
+  List.filteri (fun i _ -> i mod stride = 0 || i = k - 1) series
+  |> List.map (fun s ->
+         [
+           Fmt.str "%.0f" (s.t /. 1000.);
+           string_of_int s.live;
+           string_of_int s.s_nodes;
+           string_of_int s.joining;
+           string_of_int s.violations;
+           string_of_int s.holes;
+           Fmt.str "%.1f" (s.debt /. 1000.);
+           string_of_int s.unscrubbed;
+           (if s.lookups = 0 then "-"
+            else Fmt.str "%.2f" (float_of_int s.lookups_ok /. float_of_int s.lookups));
+           string_of_int s.suspected_live;
+         ])
+
+let pp_config_line ppf c =
+  Fmt.pf ppf
+    "n=%d b=%d d=%d duration=%.0fs half-life=%.0fs dist=%s crash=%.2f loss=%.3f seed=%d"
+    c.n c.b c.d (c.duration /. 1000.) (c.half_life /. 1000.)
+    (Session.kind_name c.dist) c.crash_fraction c.loss c.seed
+
+let pp_result ppf r =
+  Fmt.pf ppf "@[<v>continuous churn: %a@,%a%a@]" pp_config_line r.config
+    (Ntcu_harness.Report.table
+       ~header:
+         [ "t(s)"; "live"; "S"; "join"; "viol"; "holes"; "debt(s)"; "unscr"; "look"; "susp" ])
+    (series_rows r.series) pp_summary r.summary
+
+let pp_sweep ppf w =
+  let rows =
+    List.map
+      (fun p ->
+        [
+          Fmt.str "%.0f" (p.p_half_life /. 1000.);
+          string_of_int p.p_seed;
+          Fmt.str "%.1f" p.p_summary.tail_mean_live;
+          Fmt.str "%.1f" p.p_summary.tail_mean_joining;
+          Fmt.str "%.3f" p.p_summary.tail_lookup_success;
+          Fmt.str "%.4f" p.p_summary.tail_stale_fraction;
+          (if List.is_empty p.p_reasons then "yes" else "NO");
+          String.concat "," p.p_reasons;
+        ])
+      w.points
+  in
+  Fmt.pf ppf
+    "@[<v>half-life sweep: %a@,repair latency R=%.0f ms, predicted tolerance ~%.0f s@,%a"
+    pp_config_line w.sweep_base (repair_latency w.sweep_base) (w.predicted /. 1000.)
+    (Ntcu_harness.Report.table
+       ~header:
+         [ "half-life(s)"; "seed"; "live~"; "join~"; "lookup"; "stale"; "holds"; "reasons" ])
+    rows;
+  (match w.tolerated with
+  | Some hl ->
+    Fmt.pf ppf "tolerated down to half-life %.0f s (predicted %.0f s, ratio %.2f)"
+      (hl /. 1000.) (w.predicted /. 1000.)
+      (hl /. w.predicted)
+  | None -> Fmt.pf ppf "no tested half-life was sustained (predicted %.0f s)" (w.predicted /. 1000.));
+  (match w.collapse with
+  | Some hl -> Fmt.pf ppf "@,collapse at half-life %.0f s" (hl /. 1000.)
+  | None -> Fmt.pf ppf "@,no collapse within the tested range");
+  Fmt.pf ppf "@]"

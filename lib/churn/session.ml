@@ -1,0 +1,58 @@
+type kind = Exponential | Pareto | Fixed
+
+let kind_name = function
+  | Exponential -> "exponential"
+  | Pareto -> "pareto"
+  | Fixed -> "fixed"
+
+let kind_of_name s =
+  match String.lowercase_ascii s with
+  | "exponential" | "exp" -> Some Exponential
+  | "pareto" -> Some Pareto
+  | "fixed" -> Some Fixed
+  | _ -> None
+
+let all_kinds = [ Exponential; Pareto; Fixed ]
+
+type dist =
+  | Exp of { mean : float }
+  | Par of { alpha : float; xmin : float }
+  | Fix of float
+
+let default_alpha = 2.5
+
+let make k ~mean =
+  if mean <= 0. then invalid_arg "Session.make: mean must be positive";
+  match k with
+  | Exponential -> Exp { mean }
+  | Pareto ->
+    (* Pareto mean is alpha * xmin / (alpha - 1); solve for xmin. *)
+    let alpha = default_alpha in
+    Par { alpha; xmin = mean *. (alpha -. 1.) /. alpha }
+  | Fixed -> Fix mean
+
+let mean = function
+  | Exp { mean } -> mean
+  | Par { alpha; xmin } ->
+    if alpha <= 1. then Float.infinity else alpha *. xmin /. (alpha -. 1.)
+  | Fix m -> m
+
+let kind = function Exp _ -> Exponential | Par _ -> Pareto | Fix _ -> Fixed
+
+let sample dist rng =
+  match dist with
+  | Exp { mean } ->
+    (* [u] is in [0, 1), so [log1p (-. u)] is finite and the draw positive
+       (0 collapses to a zero-length session, which the driver treats as an
+       immediate departure — still well-defined). *)
+    let u = Ntcu_std.Rng.float rng 1. in
+    -.mean *. Float.log1p (-.u)
+  | Par { alpha; xmin } ->
+    let u = Ntcu_std.Rng.float rng 1. in
+    xmin /. ((1. -. u) ** (1. /. alpha))
+  | Fix m -> m
+
+let pp ppf = function
+  | Exp { mean } -> Fmt.pf ppf "exponential(mean=%g)" mean
+  | Par { alpha; xmin } -> Fmt.pf ppf "pareto(alpha=%g, xmin=%g)" alpha xmin
+  | Fix m -> Fmt.pf ppf "fixed(%g)" m

@@ -1,0 +1,47 @@
+(** Session-time distributions for the continuous-churn driver.
+
+    A node's session time is the virtual time between its arrival and its
+    departure. The churn literature (and the stochastic-analysis companion
+    paper, PAPERS.md) works with three shapes: memoryless (exponential),
+    heavy-tailed (Pareto — measured P2P session times are famously
+    heavy-tailed) and deterministic (fixed — the adversarial regular churn of
+    the stochastic model). All sampling is inverse-CDF over a seeded
+    {!Ntcu_std.Rng.t}, so a sequence of draws is a pure function of the
+    seed. *)
+
+type kind = Exponential | Pareto | Fixed
+
+val kind_name : kind -> string
+val kind_of_name : string -> kind option
+(** ["exponential" | "pareto" | "fixed"] (also accepts ["exp"]). *)
+
+val all_kinds : kind list
+
+type dist =
+  | Exp of { mean : float }
+  | Par of { alpha : float; xmin : float }
+      (** Density [~ x^-(alpha+1)] for [x >= xmin]; finite mean requires
+          [alpha > 1]. *)
+  | Fix of float
+
+val default_alpha : float
+(** Pareto shape used by {!make}: [2.5]. Heavy-tailed but with finite
+    variance, so empirical means of seeded sample runs converge fast enough
+    to assert tolerances on (measured session traces are often fit with
+    [alpha] between 1.5 and 2.5). *)
+
+val make : kind -> mean:float -> dist
+(** The distribution of the given shape with the given mean:
+    [Exp {mean}], [Par {alpha = default_alpha; xmin = mean (alpha-1)/alpha}]
+    or [Fix mean].
+    @raise Invalid_argument if [mean <= 0.]. *)
+
+val mean : dist -> float
+(** Analytic mean ([infinity] for a Pareto with [alpha <= 1]). *)
+
+val kind : dist -> kind
+
+val sample : dist -> Ntcu_std.Rng.t -> float
+(** One session time, strictly positive. *)
+
+val pp : dist Fmt.t

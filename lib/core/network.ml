@@ -41,6 +41,13 @@ type t = {
   trace : Ntcu_sim.Trace.t option;
   mutable delivered : int;
   failed : unit Id.Tbl.t;
+  (* Departure telemetry: the two ways a node can go away. [remove] is the
+     graceful path (leave protocols repair first, then unregister); [fail] is
+     the crash path (the node stays registered but dead until repair scrubs
+     it and a reaper removes it). Steady-state churn drivers read these to
+     report leave-vs-crash mixes without instrumenting every call site. *)
+  mutable removed_count : int;
+  mutable failed_count : int;
   mutable dropped : int;
   loss : (float * Ntcu_std.Rng.t) option;
   mutable lost : int;
@@ -96,6 +103,8 @@ let create ?latency ?(size_mode = Message.Full) ?(record_trace = false) ?loss ?r
     trace = (if record_trace then Some (Ntcu_sim.Trace.create ()) else None);
     delivered = 0;
     failed = Id.Tbl.create 16;
+    removed_count = 0;
+    failed_count = 0;
     dropped = 0;
     loss;
     lost = 0;
@@ -379,6 +388,7 @@ let remove t id =
     invalid_arg (Fmt.str "Network.remove: unknown node %a" Id.pp id);
   Id.Tbl.remove t.nodes id;
   Id.Tbl.remove t.failed id;
+  t.removed_count <- t.removed_count + 1;
   (* The host index stays allocated: latency models may be keyed by it, and
      indices are never reused. *)
   t.order <- List.filter (fun other -> not (Id.equal other id)) t.order
@@ -388,7 +398,11 @@ let fail t id =
     invalid_arg (Fmt.str "Network.fail: unknown node %a" Id.pp id);
   if Id.Tbl.mem t.failed id then
     invalid_arg (Fmt.str "Network.fail: %a already failed" Id.pp id);
+  t.failed_count <- t.failed_count + 1;
   Id.Tbl.replace t.failed id ()
+
+let removed_count t = t.removed_count
+let failed_count t = t.failed_count
 
 let messages_dropped t = t.dropped
 
@@ -402,6 +416,8 @@ let mem t id = Id.Tbl.mem t.nodes id
 let ids t = List.rev t.order
 
 let live_ids t = List.filter (fun id -> not (is_failed t id)) (ids t)
+
+let failed_ids t = List.filter (is_failed t) (ids t)
 
 let nodes t = List.map (fun id -> node_exn t id) (live_ids t)
 

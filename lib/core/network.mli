@@ -98,6 +98,16 @@ val is_failed : t -> Ntcu_id.Id.t -> bool
 val live_ids : t -> Ntcu_id.Id.t list
 (** Registration-ordered ids excluding failed nodes. *)
 
+val failed_ids : t -> Ntcu_id.Id.t list
+(** Registration-ordered ids of crashed nodes still registered — the
+    not-yet-reaped population a steady-state maintenance loop probes. *)
+
+val removed_count : t -> int
+(** Total {!remove} calls — graceful departures (plus crash reaping). *)
+
+val failed_count : t -> int
+(** Total {!fail} calls — crash departures. *)
+
 val messages_dropped : t -> int
 (** Deliveries to failed or removed nodes. *)
 

@@ -58,6 +58,42 @@ let copy_and_wait_sent t = sent t Message.K_cp_rst + sent t Message.K_join_wait
 
 let join_noti_sent t = sent t Message.K_join_noti
 
+type window = {
+  w_sent : int;
+  w_received : int;
+  w_bytes_sent : int;
+  w_bytes_received : int;
+  w_retransmissions : int;
+  w_timeouts : int;
+  w_failovers : int;
+  w_duplicates : int;
+}
+
+let window t =
+  {
+    w_sent = total_sent t;
+    w_received = total_received t;
+    w_bytes_sent = t.bytes_sent;
+    w_bytes_received = t.bytes_received;
+    w_retransmissions = t.retransmissions;
+    w_timeouts = t.timeouts_fired;
+    w_failovers = t.failovers;
+    w_duplicates = t.duplicates_suppressed;
+  }
+
+let since t w =
+  let now = window t in
+  {
+    w_sent = now.w_sent - w.w_sent;
+    w_received = now.w_received - w.w_received;
+    w_bytes_sent = now.w_bytes_sent - w.w_bytes_sent;
+    w_bytes_received = now.w_bytes_received - w.w_bytes_received;
+    w_retransmissions = now.w_retransmissions - w.w_retransmissions;
+    w_timeouts = now.w_timeouts - w.w_timeouts;
+    w_failovers = now.w_failovers - w.w_failovers;
+    w_duplicates = now.w_duplicates - w.w_duplicates;
+  }
+
 let add a b =
   {
     sent = Array.map2 ( + ) a.sent b.sent;

@@ -51,6 +51,29 @@ val copy_and_wait_sent : t -> int
 val join_noti_sent : t -> int
 (** The Figure 15 / Theorems 4–5 quantity [J]. *)
 
+(** {1 Time-windowed counters}
+
+    Steady-state drivers sample periodically and want per-window rates, not
+    lifetime totals. A [window] is an immutable snapshot of the counters;
+    {!since} returns the deltas accumulated after it was taken. *)
+
+type window = {
+  w_sent : int;  (** protocol messages sent (first sends) *)
+  w_received : int;
+  w_bytes_sent : int;
+  w_bytes_received : int;
+  w_retransmissions : int;
+  w_timeouts : int;
+  w_failovers : int;
+  w_duplicates : int;
+}
+
+val window : t -> window
+(** Snapshot of the current totals. *)
+
+val since : t -> window -> window
+(** Counter deltas accumulated since the snapshot was taken. *)
+
 val add : t -> t -> t
 (** Pointwise sum (aggregation across nodes). *)
 

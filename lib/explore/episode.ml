@@ -7,18 +7,21 @@ module Trace = Ntcu_sim.Trace
 module Network = Ntcu_core.Network
 module Node = Ntcu_core.Node
 module Workload = Ntcu_harness.Workload
+module Churn = Ntcu_churn.Churn
 
-type scenario = Concurrent | Dependent | Fault
+type scenario = Concurrent | Dependent | Fault | Churn
 
 let scenario_name = function
   | Concurrent -> "concurrent"
   | Dependent -> "dependent"
   | Fault -> "fault"
+  | Churn -> "churn"
 
 let scenario_of_name = function
   | "concurrent" -> Some Concurrent
   | "dependent" -> Some Dependent
   | "fault" -> Some Fault
+  | "churn" -> Some Churn
   | _ -> None
 
 type config = {
@@ -67,7 +70,76 @@ let loss_probability = 0.02
 let crash_fraction = 0.05
 let crash_at = 150.
 
-let run config =
+(* Constants of the Churn scenario: a seconds-scale steady-state window with
+   a half-life short enough that joins, leaves, crashes and repairs all
+   overlap inside the adversary's horizon. *)
+let churn_duration = 4_000.
+let churn_half_life = 2_000.
+let churn_sample_every = 1_000.
+let churn_maintenance_every = 500.
+let churn_lookups_per_sample = 4
+
+(* Steady-state churn under an adversarial scheduler. The episode drives the
+   continuous-churn engine instead of a join burst: [m] is ignored (arrivals
+   are the engine's Poisson source) and the quiescent checks assert the
+   defended claims only — liveness, reverse bookkeeping, transport
+   accounting. Consistency and the health verdict are measurements in this
+   regime (a hostile schedule can legitimately age holes), so gating on them
+   would manufacture false findings. *)
+let run_churn config =
+  let ccfg =
+    {
+      Churn.smoke with
+      b = config.b;
+      d = config.d;
+      n = config.n;
+      duration = churn_duration;
+      half_life = churn_half_life;
+      loss = loss_probability;
+      sample_every = churn_sample_every;
+      maintenance_every = churn_maintenance_every;
+      lookups_per_sample = churn_lookups_per_sample;
+      seed = config.seed;
+    }
+  in
+  let t = Churn.prepare ~record_trace:true ccfg in
+  let net = Churn.net t in
+  let seeds = Churn.initial t in
+  let sched = Scheduler.make ~seed:config.sched_seed config.scheduler in
+  Network.set_delay_hook net (Some (Scheduler.hook sched));
+  if config.midflight then begin
+    let monitor = Invariants.midflight ~expect_budget:false ~net ~joiners:[] () in
+    Engine.set_observer (Network.engine net)
+      (Some
+         (fun () ->
+           match monitor () with Some v -> raise (Midflight v) | None -> ()))
+  end;
+  let caught =
+    try
+      ignore (Churn.finish t : Churn.result);
+      None
+    with Midflight v -> Some v
+  in
+  let violations =
+    match caught with
+    | Some v -> [ v ]
+    | None ->
+      Invariants.quiescent ~expect_budget:false ~expect_consistency:false ~net ~seeds
+        ~joiners:[] ()
+  in
+  let digest =
+    match Network.trace net with Some tr -> Trace.digest tr | None -> assert false
+  in
+  {
+    config;
+    violations;
+    interventions = Scheduler.recorded sched;
+    frames = Scheduler.frames_seen sched;
+    events = Network.messages_delivered net;
+    digest;
+  }
+
+let run_join config =
   let p = Params.make ~b:config.b ~d:config.d in
   let rng = Rng.create config.seed in
   let seeds = Workload.distinct_ids rng p ~n:config.n in
@@ -78,7 +150,7 @@ let run config =
   let latency = Latency.uniform ~seed:(config.seed + 1) ~lo:1. ~hi:100. in
   let loss, reliability, repairable =
     match config.scenario with
-    | Concurrent | Dependent -> (None, None, false)
+    | Concurrent | Dependent | Churn -> (None, None, false)
     | Fault ->
       ( Some (loss_probability, config.seed + 3),
         Some
@@ -109,7 +181,7 @@ let run config =
     joiners;
   let crashed =
     match config.scenario with
-    | Concurrent | Dependent -> []
+    | Concurrent | Dependent | Churn -> []
     | Fault ->
       (* Victims come from the seeds no joiner uses as gateway: a dead
          gateway violates assumption (ii), which even the defended protocol
@@ -161,3 +233,8 @@ let run config =
     events = Network.messages_delivered net;
     digest;
   }
+
+let run config =
+  match config.scenario with
+  | Churn -> run_churn config
+  | Concurrent | Dependent | Fault -> run_join config

@@ -16,6 +16,13 @@ type scenario =
       (** Message loss + mid-join crashes under the reliable transport and
           online repair (the PR-1 reliability stack); checks that the
           defended protocol still converges. *)
+  | Churn
+      (** A seconds-scale continuous-churn steady state ({!Ntcu_churn.Churn})
+          under the adversarial scheduler: Poisson arrivals, graceful leaves
+          and crashes all overlap while the scheduler perturbs delivery. [m]
+          is ignored; the quiescent checks assert the defended claims only
+          (liveness, reverse bookkeeping, transport accounting), since
+          Definition 3.8 consistency is a measurement under crash churn. *)
 
 val scenario_name : scenario -> string
 val scenario_of_name : string -> scenario option

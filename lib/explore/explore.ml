@@ -20,7 +20,7 @@ let default_settings =
   {
     base_seed = 1;
     budget = 8;
-    scenarios = [ Episode.Concurrent; Episode.Dependent; Episode.Fault ];
+    scenarios = [ Episode.Concurrent; Episode.Dependent; Episode.Fault; Episode.Churn ];
     schedulers =
       [
         Scheduler.Random_delay { scale = 16. };

@@ -26,7 +26,7 @@ type settings = {
 }
 
 val default_settings : settings
-(** 8 episodes per pair, all three scenarios, all three adversarial
+(** 8 episodes per pair, all four scenarios, all three adversarial
     schedulers, n = 24, m = 10, b = 4, d = 6, no fault, mid-flight on,
     serial, at most 3 shrinks. *)
 

@@ -22,7 +22,20 @@ type join_run = {
 
 let consistent run = run.consistent
 
-let ok run = run.consistent && run.all_in_system && run.quiescent
+type claim = Strict | Best_effort
+
+(* Strict is the paper's regime (assumptions (i)-(iv) hold): liveness,
+   quiescence and Def-3.8 consistency are all guaranteed, so all three are
+   claimed. Best_effort is the fault/churn regime: crash-over-join repair is
+   explicitly best-effort (a crashed node's in-flight state can leave a
+   residual hole no survivor can fill), so consistency is reported but not
+   claimed — e.g. `ntcu fault -n 24 -m 10 -b 4 -d 6 --seed 196 --crash 0.05`
+   converges live and quiescent with exactly one such hole. Liveness and
+   quiescence stay claimed: the reliability layer defends them even under
+   loss and crashes. *)
+let ok ?(claim = Strict) run =
+  run.all_in_system && run.quiescent
+  && match claim with Strict -> run.consistent | Best_effort -> true
 
 let finish ~t0 net seeds joiners =
   let stats_of id = Node.stats (Network.node_exn net id) in

@@ -22,10 +22,20 @@ type join_run = {
 
 val consistent : join_run -> bool
 
-val ok : join_run -> bool
-(** [consistent && all_in_system && quiescent] — the full healthy-run
-    predicate. Bench sections that claim consistency gate their exit status
-    on this so a regression fails CI instead of just printing "NO". *)
+(** What a run is allowed to promise. [Strict] is the paper's regime
+    (assumptions (i)–(iv) hold): liveness, quiescence {e and} Def-3.8
+    consistency are claimed. [Best_effort] is the fault/churn regime:
+    crash-over-join repair can legitimately leave a residual hole (e.g.
+    [ntcu fault -n 24 -m 10 -b 4 -d 6 --seed 196 --crash 0.05] converges
+    live and quiescent with exactly one), so consistency is reported but not
+    claimed — only liveness and quiescence gate the exit status. *)
+type claim = Strict | Best_effort
+
+val ok : ?claim:claim -> join_run -> bool
+(** [all_in_system && quiescent && (claim = Best_effort || consistent)] — the
+    healthy-run predicate (default [Strict]). Bench sections and CLI commands
+    gate their exit status on this so a regression fails CI instead of just
+    printing "NO"; fault and churn modes pass [~claim:Best_effort]. *)
 
 val concurrent_joins :
   ?latency:Ntcu_sim.Latency.t ->

@@ -1,3 +1,8 @@
+type handle = {
+  ph : (unit -> unit) Ntcu_std.Pqueue.handle;
+  mutable cancelled : bool;
+}
+
 type t = {
   mutable clock : float;
   queue : (unit -> unit) Ntcu_std.Pqueue.t;
@@ -5,6 +10,13 @@ type t = {
   mutable cancelled_count : int;
   mutable observer : (unit -> unit) option;
   owner : Domain.id; (* creating domain; mutation from any other raises *)
+  (* Debug-only timer registry: when [debug_timers] is on, every cancellable
+     handle is tracked so {!assert_no_timer_leaks} can prove that cancellation
+     really removed the event from the indexed pqueue. Off by default — a
+     steady-state run creates one handle per reliable message and the
+     registry would otherwise be pure overhead. *)
+  mutable debug_timers : bool;
+  mutable tracked : handle list;
 }
 
 let create () =
@@ -15,6 +27,8 @@ let create () =
     cancelled_count = 0;
     observer = None;
     owner = Domain.self ();
+    debug_timers = false;
+    tracked = [];
   }
 
 (* The engine is single-domain mutable state (clock, heap). A parallel
@@ -41,16 +55,41 @@ let schedule t ~delay f =
   if delay < 0. then invalid_arg "Engine.schedule: negative delay";
   schedule_at t ~time:(t.clock +. delay) f
 
-type handle = {
-  ph : (unit -> unit) Ntcu_std.Pqueue.handle;
-  mutable cancelled : bool;
-}
+(* Keep only handles whose element is still physically queued: a fired or
+   properly-cancelled handle left the queue and needs no further watching,
+   while a leaked cancellation (cancelled flag set, element still queued)
+   stays tracked until {!assert_no_timer_leaks} reports it. *)
+let prune_tracked t =
+  t.tracked <- List.filter (fun h -> Ntcu_std.Pqueue.mem t.queue h.ph) t.tracked
+
+let set_debug_timers t on =
+  check_owner t "set_debug_timers";
+  t.debug_timers <- on;
+  if not on then t.tracked <- []
+
+let assert_no_timer_leaks t =
+  check_owner t "assert_no_timer_leaks";
+  if t.debug_timers then begin
+    List.iter
+      (fun h ->
+        if h.cancelled && Ntcu_std.Pqueue.mem t.queue h.ph then
+          failwith "Engine.assert_no_timer_leaks: cancelled timer still queued")
+      t.tracked;
+    prune_tracked t
+  end
+
+let debug_tracked_timers t = List.length t.tracked
 
 let schedule_cancellable t ~delay f =
   check_owner t "schedule_cancellable";
   if delay < 0. then invalid_arg "Engine.schedule_cancellable: negative delay";
   let ph = Ntcu_std.Pqueue.push_handle t.queue (t.clock +. delay) f in
-  { ph; cancelled = false }
+  let h = { ph; cancelled = false } in
+  if t.debug_timers then begin
+    if List.length t.tracked > 4096 then prune_tracked t;
+    t.tracked <- h :: t.tracked
+  end;
+  h
 
 let cancel t h =
   check_owner t "cancel";
@@ -90,7 +129,12 @@ let run ?(max_events = 100_000_000) t =
     if !fired > max_events then
       failwith
         (Printf.sprintf "Engine.run: exceeded %d events; suspected livelock" max_events)
-  done
+  done;
+  (* The queue just drained: if cancellation ever failed to remove an event,
+     it would have either fired (wrong) or kept [pending] above zero (this
+     loop would not have exited with it queued — unless the pqueue index and
+     the heap disagree, which is exactly what the debug check detects). *)
+  assert_no_timer_leaks t
 
 let run_until t ~time =
   let continue = ref true in

@@ -55,6 +55,29 @@ val events_cancelled : t -> int
 (** Number of timers that were cancelled while still queued (diagnostics for
     the retransmission layer). *)
 
+(** {1 Timer-leak debugging}
+
+    {!cancel} removes events from the indexed pqueue eagerly; if that removal
+    ever went wrong (index drift between heap and handle), a steady-state run
+    would multiply the leak by hours of virtual time — the queue would either
+    fire a cancelled event or never drain. Behind this debug flag the engine
+    tracks every cancellable handle and can prove the invariant "no cancelled
+    timer remains queued". *)
+
+val set_debug_timers : t -> bool -> unit
+(** Enable (or disable, clearing the registry) cancellable-timer tracking.
+    Off by default: tracking costs a registry entry per reliable message. *)
+
+val assert_no_timer_leaks : t -> unit
+(** No-op unless {!set_debug_timers} is on. Checks every tracked handle and
+    prunes those that left the queue; also runs automatically when {!run}
+    drains the queue.
+    @raise Failure if a cancelled timer is still in the queue. *)
+
+val debug_tracked_timers : t -> int
+(** Number of handles currently tracked (test hook; [0] when tracking is
+    off or after a drain-and-check pruned everything). *)
+
 val set_observer : t -> (unit -> unit) option -> unit
 (** Install (or clear) a hook called after every fired event, with the clock
     already advanced to the event's timestamp. Invariant monitors attach here

@@ -142,6 +142,34 @@ let cancellation_preserves_determinism () =
     Alcotest.(list (pair (float 1e-9) string))
     "replay identical" with_cancelled (run ~with_cancelled:true)
 
+(* The timer-leak debug registry: tracks every cancellable handle, prunes
+   handles that left the queue, and proves "no cancelled timer remains
+   queued" when the engine drains. The churn driver runs with this on in its
+   smoke config — hours of steady state multiply any cancel/index drift. *)
+let debug_timer_leak_check () =
+  let e = Engine.create () in
+  Engine.set_debug_timers e true;
+  check Alcotest.int "registry empty" 0 (Engine.debug_tracked_timers e);
+  let fired = ref 0 in
+  let h1 = Engine.schedule_cancellable e ~delay:1. (fun () -> incr fired) in
+  let _h2 = Engine.schedule_cancellable e ~delay:2. (fun () -> incr fired) in
+  check Alcotest.int "both tracked" 2 (Engine.debug_tracked_timers e);
+  Engine.cancel e h1;
+  (* Eager deletion removed the cancelled event; the check prunes its handle
+     without complaint. *)
+  Engine.assert_no_timer_leaks e;
+  check Alcotest.int "cancelled handle pruned" 1 (Engine.debug_tracked_timers e);
+  (* run drains the queue and re-checks automatically. *)
+  Engine.run e;
+  check Alcotest.int "only the live timer fired" 1 !fired;
+  check Alcotest.int "registry drained" 0 (Engine.debug_tracked_timers e);
+  (* Disabling clears the registry and makes the check a no-op. *)
+  ignore (Engine.schedule_cancellable e ~delay:1. (fun () -> ()) : Engine.handle);
+  Engine.set_debug_timers e false;
+  check Alcotest.int "tracking off" 0 (Engine.debug_tracked_timers e);
+  Engine.assert_no_timer_leaks e;
+  Engine.run e
+
 let latency_constant () =
   let l = Latency.constant 2.5 in
   check (Alcotest.float 1e-9) "constant" 2.5 (Latency.sample l ~src:0 ~dst:1)
@@ -224,6 +252,7 @@ let suites =
         Alcotest.test_case "cancel rejects negative" `Quick
           cancellable_rejects_negative_delay;
         Alcotest.test_case "cancel determinism" `Quick cancellation_preserves_determinism;
+        Alcotest.test_case "debug timer-leak check" `Quick debug_timer_leak_check;
       ] );
     ( "sim.latency",
       [
