@@ -14,8 +14,8 @@
                                                  NTCU_JOBS works too)
 
    Sections: fig15a fig15b avg-vs-bound theorem3 theorem4 baseline msgsize
-             census latency-ablation optimize churn churn-steady assumption
-             resilience fault perf micro
+             census latency-ablation optimize churn churn-steady serve
+             assumption resilience fault perf micro
 
    Every independent-run sweep (the four fig15b setups, the 300-run Theorem 4
    estimator, the size-mode and latency-model ablations, the fault-injection
@@ -548,6 +548,67 @@ let churn_steady ~smoke () =
   Report.Json.to_file "BENCH_churn.json" (Churn.bench_json ~sweep result);
   pf "wrote BENCH_churn.json@."
 
+(* ---- Heavy-traffic object-location serving ---- *)
+
+(* The PRR-style directory under a production-shaped workload: Zipf-popular
+   replicated objects, sustained lookups from random clients, the LRU
+   hop-pointer cache ablated off and on, and the same workload composed with
+   the continuous-churn driver (incremental directory maintenance +
+   re-replication each serve tick). The static correctness claim is strict —
+   every lookup must return the complete replica set, cache or not; the
+   under-churn tail-success claim is gated at the churn bench's base
+   half-life. Writes BENCH_serve.json (ntcu-bench-serve/1; same schema as
+   `ntcu serve`). *)
+let serve ~smoke () =
+  section "Object-location serving: Zipf workload + cache ablation (writes BENCH_serve.json)";
+  let module Serve = Ntcu_serve.Serve in
+  let module Churn = Ntcu_churn.Churn in
+  let cfg = if smoke then Serve.smoke else Serve.default in
+  let churn_cfg =
+    if smoke then Churn.smoke
+    else
+      (* The churn bench's base point (churn_steady above): n = 250, 20
+         virtual minutes at a 10-minute half-life. *)
+      {
+        Churn.default with
+        n = 250;
+        duration = 1_200_000.;
+        half_life = 600_000.;
+        sample_every = 30_000.;
+      }
+  in
+  let abl, churn =
+    match !pool with
+    | Some p -> Serve.run_all p cfg churn_cfg
+    | None -> assert false
+  in
+  pf "static, cache off:@.%a@.@." Serve.pp_summary abl.Serve.nocache;
+  pf "static, cache %d:@.%a@.@." cfg.Serve.cache Serve.pp_summary abl.Serve.cached;
+  pf "under churn (n=%d, half-life %gs):@.%a@." churn_cfg.Churn.n
+    (churn_cfg.Churn.half_life /. 1000.)
+    Serve.pp_churn_run churn;
+  ignore
+    (claim "serve: every static lookup finds the complete replica set (cache off)"
+       (Serve.static_ok abl.Serve.nocache)
+      : bool);
+  ignore
+    (claim "serve: every static lookup finds the complete replica set (cache on)"
+       (Serve.static_ok abl.Serve.cached)
+      : bool);
+  ignore
+    (claim "serve: hop-pointer cache lowers mean pointer-hit depth"
+       (Serve.cache_improves ~nocache:abl.Serve.nocache ~cached:abl.Serve.cached)
+      : bool);
+  (* As for churn-steady: the smoke config deliberately churns past its
+     predicted tolerance, so only the default scale claims the serving SLO. *)
+  if not smoke then
+    ignore
+      (claim "serve: tail lookup resolution >= 0.99 under churn at base half-life"
+         (Serve.churn_ok churn)
+        : bool);
+  Report.Json.to_file "BENCH_serve.json" (Serve.bench_json cfg abl churn);
+  pf "wrote BENCH_serve.json@."
+
 (* ---- Backup neighbors: routing resilience before repair ---- *)
 
 let resilience () =
@@ -882,6 +943,7 @@ let () =
   if want "resilience" then resilience ();
   if want "churn" then churn ();
   if want "churn-steady" then churn_steady ~smoke ();
+  if want "serve" then serve ~smoke ();
   if want "fault" then fault ~smoke ();
   if want "perf" then perf ~full ~smoke ();
   if want "micro" then micro ();

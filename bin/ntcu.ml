@@ -430,6 +430,129 @@ let churn_cmd =
       $ seed_arg $ duration $ half_life $ dist $ crash $ loss $ sample_every
       $ maintenance_every $ lookups $ sweep_points $ jobs_arg $ out)
 
+(* ---- serve ---- *)
+
+let serve_cmd =
+  let module Serve = Ntcu_serve.Serve in
+  let module Churn = Ntcu_churn.Churn in
+  let run smoke n b d seed objects replicas zipf lookups cache full_maintain serve_every
+      lookups_per_tick churn_n duration half_life jobs out =
+    let base = if smoke then Serve.smoke else Serve.default in
+    let pick o dflt = Option.value o ~default:dflt in
+    let secs o dflt = match o with None -> dflt | Some s -> s *. 1000. in
+    let cfg =
+      {
+        Serve.n = pick n base.Serve.n;
+        b = pick b base.Serve.b;
+        d = pick d base.Serve.d;
+        seed;
+        objects = pick objects base.Serve.objects;
+        replicas = pick replicas base.Serve.replicas;
+        zipf_s = pick zipf base.Serve.zipf_s;
+        lookups = pick lookups base.Serve.lookups;
+        cache = pick cache base.Serve.cache;
+        incremental = not full_maintain;
+        serve_every = secs serve_every base.Serve.serve_every;
+        lookups_per_tick = pick lookups_per_tick base.Serve.lookups_per_tick;
+      }
+    in
+    (* The churn side runs at the churn bench's base point (n = 250, 20 min
+       at a 10 min half-life) — the scale the tail-success claim is gated
+       at — or the churn smoke config under --smoke. *)
+    let churn_base =
+      if smoke then Churn.smoke
+      else
+        {
+          Churn.default with
+          n = 250;
+          duration = 1_200_000.;
+          half_life = 600_000.;
+          sample_every = 30_000.;
+        }
+    in
+    let churn_cfg =
+      {
+        churn_base with
+        Churn.b = cfg.Serve.b;
+        d = cfg.Serve.d;
+        seed;
+        n = pick churn_n churn_base.Churn.n;
+        duration = secs duration churn_base.Churn.duration;
+        half_life = secs half_life churn_base.Churn.half_life;
+      }
+    in
+    match
+      let jobs = Ntcu_std.Parallel.resolve_jobs jobs in
+      Ntcu_std.Parallel.with_pool ~jobs (fun pool -> Serve.run_all pool cfg churn_cfg)
+    with
+    | exception Invalid_argument e ->
+      Format.eprintf "%s@." e;
+      2
+    | abl, churn ->
+      Format.printf "static serving, cache off:@.%a@.@." Serve.pp_summary
+        abl.Serve.nocache;
+      Format.printf "static serving, cache %d:@.%a@.@." cfg.Serve.cache Serve.pp_summary
+        abl.Serve.cached;
+      Format.printf "serving under churn (n=%d, half-life %gs, %s maintain):@.%a@."
+        churn_cfg.Churn.n
+        (churn_cfg.Churn.half_life /. 1000.)
+        (if cfg.Serve.incremental then "incremental" else "full")
+        Serve.pp_churn_run churn;
+      Ntcu_harness.Report.Json.to_file out (Serve.bench_json cfg abl churn);
+      Format.printf "wrote %s@." out;
+      if Serve.ok ~smoke cfg abl churn then 0 else 1
+  in
+  let opt_int names doc = Arg.(value & opt (some int) None & info names ~docv:"N" ~doc) in
+  let opt_float names docv doc =
+    Arg.(value & opt (some float) None & info names ~docv ~doc)
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ] ~doc:"CI-sized run: 60 nodes, 400 objects, churn smoke window.")
+  in
+  let full_maintain =
+    Arg.(
+      value & flag
+      & info [ "full-maintain" ]
+          ~doc:
+            "Rebuild the whole directory at each serve tick instead of incremental \
+             trail revalidation.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "BENCH_serve.json"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the JSON artifact to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Heavy-traffic object location: publish Zipf-popular replicated objects and \
+          serve sustained lookups over the PRR-style directory — a static run with the \
+          hop-pointer cache ablated off and on, plus a run composed with the \
+          continuous-churn driver (periodic maintenance, re-replication, lookup \
+          success gating). Deterministic in --seed; --jobs only fans out the \
+          independent runs and never changes any output.")
+    Term.(
+      const run $ smoke
+      $ opt_int [ "n" ] "Static-run network size."
+      $ opt_int [ "b" ] "Digit base."
+      $ opt_int [ "d" ] "Digits per ID."
+      $ seed_arg
+      $ opt_int [ "objects" ] "Number of published objects."
+      $ opt_int [ "replicas" ] "Storers per object."
+      $ opt_float [ "zipf" ] "S" "Zipf popularity exponent (0 = uniform)."
+      $ opt_int [ "lookups" ] "Static-run total lookups."
+      $ opt_int [ "cache" ] "LRU hop-pointer cache capacity (0 disables)."
+      $ full_maintain
+      $ opt_float [ "serve-every" ] "SECONDS" "Serve-tick period under churn, virtual seconds."
+      $ opt_int [ "lookups-per-tick" ] "Lookups issued at each serve tick."
+      $ opt_int [ "churn-n" ] "Churn-run target network size."
+      $ opt_float [ "duration" ] "SECONDS" "Churn window in virtual seconds."
+      $ opt_float [ "half-life" ] "SECONDS" "Churn population half-life in virtual seconds."
+      $ jobs_arg $ out)
+
 (* ---- explore ---- *)
 
 let explore_cmd =
@@ -618,6 +741,7 @@ let main =
       recovery_cmd;
       fault_cmd;
       churn_cmd;
+      serve_cmd;
       explore_cmd;
     ]
 

@@ -42,7 +42,7 @@ let () =
       (Id.Tbl.find host_index b)
   in
   let lookup id = Option.map Node.table (Network.node net id) in
-  let dir = Directory.create ~lookup in
+  let dir = Directory.create ~lookup () in
 
   (* Publish 50 objects, three replicas each. *)
   let objects = List.init 50 (fun _ -> Id.random rng p) in

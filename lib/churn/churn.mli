@@ -219,6 +219,11 @@ val sweep : Ntcu_std.Parallel.t -> base:config -> points:int -> sweep_result
 
 (** {1 Reporting} *)
 
+val config_json : config -> Ntcu_harness.Report.Json.t
+val summary_json : summary -> Ntcu_harness.Report.Json.t
+(** Building blocks for composed artifacts (the serving bench embeds the
+    churn side of a serve-under-churn run without duplicating the schema). *)
+
 val result_json : result -> Ntcu_harness.Report.Json.t
 val sweep_json : sweep_result -> Ntcu_harness.Report.Json.t
 

@@ -1,0 +1,39 @@
+type t = { s : float; n : int; cum : float array }
+
+let create ~s ~n =
+  if n < 1 then invalid_arg "Zipf.create: n must be >= 1";
+  if s < 0. || not (Float.is_finite s) then
+    invalid_arg "Zipf.create: s must be finite and >= 0";
+  let cum = Array.make n 0. in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. (float_of_int (i + 1) ** -.s);
+    cum.(i) <- !acc
+  done;
+  let total = !acc in
+  for i = 0 to n - 1 do
+    cum.(i) <- cum.(i) /. total
+  done;
+  (* Guard against the last cumulative landing a ulp below 1. *)
+  cum.(n - 1) <- 1.;
+  { s; n; cum }
+
+let s t = t.s
+let n t = t.n
+
+let head_mass t ~k =
+  if k <= 0 then 0. else t.cum.(min k t.n - 1)
+
+let sample t rng =
+  let u = Ntcu_std.Rng.float rng 1. in
+  (* Smallest index whose cumulative mass exceeds u: u < cum.(i) iff rank i
+     (0-based) or earlier covers u. [u] is in [0, 1) and cum.(n-1) = 1, so
+     the search always lands in range. *)
+  let lo = ref 0 and hi = ref (t.n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if u < t.cum.(mid) then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let pp ppf t = Fmt.pf ppf "zipf(s=%g, n=%d)" t.s t.n

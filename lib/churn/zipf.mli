@@ -1,0 +1,33 @@
+(** Zipf-distributed popularity ranks.
+
+    The serving workload draws object popularity from a Zipf law:
+    [P(rank = k) ∝ k^(-s)] over ranks [1..n], the standard model for
+    measured P2P and web object popularity (the access-skew framing ReCord
+    and the generalized-hypercubes study evaluate under, PAPERS.md). [s = 0]
+    is uniform; [s = 1] the classic Zipf; larger [s] concentrates traffic on
+    a smaller head.
+
+    Like {!Session}, sampling is inverse-CDF over a seeded
+    {!Ntcu_std.Rng.t} — here a binary search over the precomputed cumulative
+    mass — so a stream of draws is a pure function of the seed. *)
+
+type t
+
+val create : s:float -> n:int -> t
+(** Ranks [1..n] with exponent [s]. Precomputes the cumulative distribution
+    ([O(n)] space, [O(log n)] per draw).
+    @raise Invalid_argument if [n < 1] or [s] is negative or not finite. *)
+
+val s : t -> float
+val n : t -> int
+
+val sample : t -> Ntcu_std.Rng.t -> int
+(** One draw, returned as a {e 0-based} rank in [[0, n)]: rank 0 is the most
+    popular object. *)
+
+val head_mass : t -> k:int -> float
+(** Analytic probability that a draw lands in the [k] most popular ranks:
+    [Σ_{i<=k} i^(-s) / H_{n,s}]. [0.] for [k <= 0]; [1.] for [k >= n]. The
+    empirical-skew tests compare seeded sample streams against this. *)
+
+val pp : t Fmt.t

@@ -50,3 +50,13 @@ let poisson ~rate rng =
 let every period =
   if period <= 0. then invalid_arg "Arrivals.every: period must be positive";
   fun () -> Some period
+
+let take k next =
+  if k < 0 then invalid_arg "Arrivals.take: count must be nonnegative";
+  let left = ref k in
+  fun () ->
+    if !left <= 0 then None
+    else begin
+      decr left;
+      next ()
+    end

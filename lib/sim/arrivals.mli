@@ -37,3 +37,10 @@ val poisson : rate:float -> Ntcu_std.Rng.t -> unit -> float option
 val every : float -> unit -> float option
 (** Fixed-period sampler (periodic maintenance, time-series sampling).
     @raise Invalid_argument if the period is not positive. *)
+
+val take : int -> (unit -> float option) -> unit -> float option
+(** [take k next] passes through the first [k] draws of [next], then returns
+    [None] — a source armed with it retires after at most [k + 1] firings
+    ([?first] plus [k] sampled delays). Bounded workload drivers (a fixed
+    number of serve ticks inside a churn window) are the intended use.
+    @raise Invalid_argument if [k < 0]. *)

@@ -25,7 +25,7 @@ let lookup_of net x = Option.map Node.table (Network.node net x)
 let maintenance_after_joins () =
   let run = build ~seed:1 ~n:30 ~m:10 in
   let net = run.net in
-  let dir = Directory.create ~lookup:(lookup_of net) in
+  let dir = Directory.create ~lookup:(lookup_of net) () in
   let rng = Rng.create 3 in
   let ids = Array.of_list (Network.ids net) in
   let objects = List.init 15 (fun _ -> Id.random rng p) in
@@ -47,9 +47,9 @@ let maintenance_after_joins () =
   List.iter (fun id -> Network.start_join net ~id ~gateway:ids.(0) ()) fresh;
   Network.run net;
   check Alcotest.int "still consistent" 0 (List.length (Network.check_consistent net));
-  (match Directory.maintain dir with
-  | Ok republished -> check Alcotest.int "all objects republished" 15 republished
-  | Error e -> Alcotest.failf "maintain: %a" Ntcu_routing.Route.pp_error e);
+  let st = Directory.maintain dir in
+  check Alcotest.int "all objects republished" 15 st.Directory.republished;
+  check Alcotest.int "no republish errors" 0 st.Directory.errors;
   (* Every object is findable from every new node (P1 restored). *)
   List.iter
     (fun (obj, storer) ->
@@ -66,7 +66,7 @@ let maintenance_after_joins () =
 let maintenance_after_leaves () =
   let run = build ~seed:2 ~n:25 ~m:15 in
   let net = run.net in
-  let dir = Directory.create ~lookup:(lookup_of net) in
+  let dir = Directory.create ~lookup:(lookup_of net) () in
   let rng = Rng.create 5 in
   let obj = Id.random rng p in
   let survivor_storer = List.hd run.seeds in
@@ -76,9 +76,9 @@ let maintenance_after_leaves () =
   let doomed_only = Id.random rng p in
   (match Directory.publish dir ~storer:doomed_storer doomed_only with Ok _ -> () | Error _ -> Alcotest.fail "p3");
   (match Ntcu_extensions.Leave.leave net doomed_storer with Ok _ -> () | Error e -> Alcotest.fail e);
-  (match Directory.maintain dir with
-  | Ok republished -> check Alcotest.int "one object survives" 1 republished
-  | Error e -> Alcotest.failf "maintain: %a" Ntcu_routing.Route.pp_error e);
+  let st = Directory.maintain dir in
+  check Alcotest.int "one object survives" 1 st.Directory.republished;
+  check Alcotest.int "no republish errors" 0 st.Directory.errors;
   let client = List.nth run.seeds 3 in
   (match Directory.lookup_object dir ~client obj with
   | Ok { storers; _ } ->
@@ -91,7 +91,7 @@ let maintenance_after_leaves () =
 
 let published_objects_lists () =
   let run = build ~seed:3 ~n:10 ~m:5 in
-  let dir = Directory.create ~lookup:(lookup_of run.net) in
+  let dir = Directory.create ~lookup:(lookup_of run.net) () in
   check Alcotest.int "empty" 0 (List.length (Directory.published_objects dir));
   let obj = Id.random (Rng.create 6) p in
   (match Directory.publish dir ~storer:(List.hd run.seeds) obj with

@@ -91,7 +91,7 @@ let path_cost_sums () =
 let directory_root_unique () =
   let run = make_net ~seed:8 ~n:25 ~m:15 in
   let lookup = lookup_of run in
-  let dir = Directory.create ~lookup in
+  let dir = Directory.create ~lookup () in
   let ids = Array.of_list (Network.ids run.net) in
   let rng = Rng.create 11 in
   let p = Network.params run.net in
@@ -112,7 +112,7 @@ let directory_root_unique () =
 let publish_then_lookup () =
   let run = make_net ~seed:9 ~n:20 ~m:10 in
   let lookup = lookup_of run in
-  let dir = Directory.create ~lookup in
+  let dir = Directory.create ~lookup () in
   let ids = Array.of_list (Network.ids run.net) in
   let rng = Rng.create 13 in
   let p = Network.params run.net in
@@ -133,7 +133,7 @@ let publish_then_lookup () =
 let lookup_from_storer_is_local () =
   let run = make_net ~seed:10 ~n:20 ~m:10 in
   let lookup = lookup_of run in
-  let dir = Directory.create ~lookup in
+  let dir = Directory.create ~lookup () in
   let p = Network.params run.net in
   let storer = List.hd (Network.ids run.net) in
   let obj = Id.random (Rng.create 1) p in
@@ -146,7 +146,7 @@ let lookup_from_storer_is_local () =
 let unpublished_reports_no_storers () =
   let run = make_net ~seed:12 ~n:10 ~m:5 in
   let lookup = lookup_of run in
-  let dir = Directory.create ~lookup in
+  let dir = Directory.create ~lookup () in
   let p = Network.params run.net in
   let obj = Id.random (Rng.create 2) p in
   match Directory.lookup_object dir ~client:(List.hd (Network.ids run.net)) obj with
@@ -156,7 +156,7 @@ let unpublished_reports_no_storers () =
 let unpublish_removes () =
   let run = make_net ~seed:13 ~n:15 ~m:5 in
   let lookup = lookup_of run in
-  let dir = Directory.create ~lookup in
+  let dir = Directory.create ~lookup () in
   let p = Network.params run.net in
   let ids = Network.ids run.net in
   let storer = List.hd ids and client = List.nth ids 3 in
@@ -170,7 +170,7 @@ let unpublish_removes () =
 let multiple_replicas_found () =
   let run = make_net ~seed:14 ~n:25 ~m:10 in
   let lookup = lookup_of run in
-  let dir = Directory.create ~lookup in
+  let dir = Directory.create ~lookup () in
   let p = Network.params run.net in
   let ids = Array.of_list (Network.ids run.net) in
   let obj = Id.random (Rng.create 4) p in

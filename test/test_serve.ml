@@ -1,0 +1,175 @@
+(* Tests for the serving layer (lib/serve) and the Zipf sampler
+   (lib/churn/zipf): seeded determinism, empirical skew against the analytic
+   head mass, static-run invariants, the cache ablation, and byte-identical
+   bench artifacts across Parallel fan-out widths. *)
+
+module Rng = Ntcu_std.Rng
+module Parallel = Ntcu_std.Parallel
+module Zipf = Ntcu_churn.Zipf
+module Churn = Ntcu_churn.Churn
+module Serve = Ntcu_serve.Serve
+module Directory = Ntcu_routing.Directory
+module Report = Ntcu_harness.Report
+
+let check = Alcotest.check
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* ---- Zipf sampler ---- *)
+
+let arb_zipf_case =
+  QCheck.(
+    triple
+      (float_range 0. 3.)
+      (int_range 1 10_000) (int_range 0 1_000_000))
+
+let draws z seed k =
+  let rng = Rng.create seed in
+  List.init k (fun _ -> Zipf.sample z rng)
+
+let zipf_deterministic =
+  qtest "zipf sampler is a pure function of the seed" arb_zipf_case
+    (fun (s, n, seed) ->
+      let z = Zipf.create ~s ~n in
+      List.equal Int.equal (draws z seed 50) (draws z seed 50))
+
+let zipf_in_range =
+  qtest "zipf samples are ranks in [0, n)" arb_zipf_case (fun (s, n, seed) ->
+      let z = Zipf.create ~s ~n in
+      List.for_all (fun r -> 0 <= r && r < n) (draws z seed 50))
+
+let zipf_rejects_bad_args () =
+  Alcotest.check_raises "n = 0" (Invalid_argument "Zipf.create: n must be >= 1")
+    (fun () -> ignore (Zipf.create ~s:1. ~n:0));
+  Alcotest.check_raises "negative s"
+    (Invalid_argument "Zipf.create: s must be finite and >= 0") (fun () ->
+      ignore (Zipf.create ~s:(-0.5) ~n:10))
+
+let head_mass_bounds () =
+  let z = Zipf.create ~s:1.1 ~n:100 in
+  check (Alcotest.float 1e-9) "k=0" 0. (Zipf.head_mass z ~k:0);
+  check (Alcotest.float 1e-9) "k=n" 1. (Zipf.head_mass z ~k:100);
+  check (Alcotest.float 1e-9) "k>n clamps" 1. (Zipf.head_mass z ~k:1_000);
+  (* s = 0 is the uniform distribution. *)
+  let u = Zipf.create ~s:0. ~n:1000 in
+  check (Alcotest.float 1e-9) "uniform head mass" 0.1 (Zipf.head_mass u ~k:100)
+
+(* The seeded empirical head mass must land near the analytic one. 20k
+   draws: the binomial standard error at p ~ 0.4 is ~0.0035, so a 0.02
+   tolerance is nearly 6 sigma while still catching a mis-normalized or
+   mis-searched inverse CDF. *)
+let zipf_empirical_skew () =
+  let n = 1_000 and k = 10 and total = 20_000 in
+  List.iter
+    (fun s ->
+      let z = Zipf.create ~s ~n in
+      let rng = Rng.create 77 in
+      let hits = ref 0 in
+      for _ = 1 to total do
+        if Zipf.sample z rng < k then incr hits
+      done;
+      let emp = float_of_int !hits /. float_of_int total in
+      let analytic = Zipf.head_mass z ~k in
+      if Float.abs (emp -. analytic) > 0.02 then
+        Alcotest.failf "s=%.1f: empirical head mass %.4f vs analytic %.4f" s emp
+          analytic)
+    [ 0.8; 1.0; 1.2 ]
+
+(* ---- Static serving ---- *)
+
+(* Sub-smoke scale so runtest stays fast. *)
+let tiny =
+  {
+    Serve.default with
+    Serve.n = 30;
+    objects = 120;
+    replicas = 2;
+    lookups = 600;
+    cache = 64;
+    serve_every = 10_000.;
+    lookups_per_tick = 8;
+  }
+
+let tiny_churn =
+  {
+    Churn.smoke with
+    n = 40;
+    duration = 60_000.;
+    half_life = 40_000.;
+    sample_every = 10_000.;
+    maintenance_every = 5_000.;
+    lookups_per_sample = 8;
+  }
+
+let static_run_is_complete () =
+  let s = Serve.run_static tiny in
+  check Alcotest.int "every lookup complete" tiny.Serve.lookups s.Serve.s_complete;
+  check Alcotest.bool "claim holds" true (Serve.static_ok s);
+  let c = s.Serve.s_cache in
+  check Alcotest.int "hits + misses = lookups" tiny.Serve.lookups
+    (c.Directory.hits + c.Directory.misses);
+  check Alcotest.bool "throughput positive" true (s.Serve.s_lookups_per_s > 0.)
+
+let cache_ablation_reduces_depth () =
+  let nocache = Serve.run_static { tiny with Serve.cache = 0 } in
+  let cached = Serve.run_static tiny in
+  check Alcotest.int "same completeness bar" nocache.Serve.s_complete
+    cached.Serve.s_complete;
+  check Alcotest.bool "cache lowers mean depth" true
+    (Serve.cache_improves ~nocache ~cached);
+  check Alcotest.bool "cache lowers mean latency" true
+    (cached.Serve.s_latency_mean < nocache.Serve.s_latency_mean)
+
+let invalid_config_rejected () =
+  Alcotest.check_raises "replicas > n"
+    (Invalid_argument "Serve: replicas must be in [1, n]") (fun () ->
+      ignore (Serve.run_static { tiny with Serve.replicas = 31 }))
+
+(* ---- Serving under churn ---- *)
+
+let under_churn_sanity () =
+  let r = Serve.under_churn tiny tiny_churn in
+  check Alcotest.bool "ticks fired" true (List.length r.Serve.sc_ticks >= 3);
+  check Alcotest.bool "lookups issued" true (r.Serve.sc_lookups > 0);
+  check Alcotest.bool "resolution is a rate" true
+    (0. <= r.Serve.sc_resolution && r.Serve.sc_resolution <= 1.);
+  check Alcotest.bool "complete never beats resolved" true
+    (r.Serve.sc_found <= r.Serve.sc_resolved);
+  check Alcotest.int "maintenance never errors" 0 r.Serve.sc_maintain_errors;
+  check Alcotest.bool "churn side healthy (best-effort)" true
+    (Churn.ok ~claim:Ntcu_harness.Experiment.Best_effort r.Serve.sc_churn)
+
+(* ---- Determinism across fan-out widths ---- *)
+
+let artifact jobs =
+  let pool = Parallel.create ~jobs in
+  let abl, churn = Serve.run_all pool tiny tiny_churn in
+  Parallel.shutdown pool;
+  Report.Json.to_string (Serve.bench_json tiny abl churn)
+
+let bench_jobs_byte_identical () =
+  check Alcotest.string "jobs=1 vs jobs=4" (artifact 1) (artifact 4)
+
+let suites =
+  [
+    ( "zipf",
+      [
+        zipf_deterministic;
+        zipf_in_range;
+        Alcotest.test_case "rejects bad args" `Quick zipf_rejects_bad_args;
+        Alcotest.test_case "head-mass bounds" `Quick head_mass_bounds;
+        Alcotest.test_case "empirical skew matches analytic" `Quick
+          zipf_empirical_skew;
+      ] );
+    ( "serve",
+      [
+        Alcotest.test_case "static run is complete" `Quick static_run_is_complete;
+        Alcotest.test_case "cache ablation reduces depth" `Quick
+          cache_ablation_reduces_depth;
+        Alcotest.test_case "invalid config rejected" `Quick invalid_config_rejected;
+        Alcotest.test_case "under-churn sanity" `Quick under_churn_sanity;
+        Alcotest.test_case "bench artifact byte-identical across jobs" `Quick
+          bench_jobs_byte_identical;
+      ] );
+  ]
