@@ -14,7 +14,7 @@
                                                  NTCU_JOBS works too)
 
    Sections: fig15a fig15b avg-vs-bound theorem3 theorem4 baseline msgsize
-             census latency-ablation optimize churn churn-steady serve
+             census latency-ablation optimize churn churn-steady serve scale
              assumption resilience fault perf micro
 
    Every independent-run sweep (the four fig15b setups, the 300-run Theorem 4
@@ -609,6 +609,53 @@ let serve ~smoke () =
   Report.Json.to_file "BENCH_serve.json" (Serve.bench_json cfg abl churn);
   pf "wrote BENCH_serve.json@."
 
+(* ---- Sharded scale engine: packed ids + arena storage at 10^5 nodes ---- *)
+
+(* Drives lib/scale's sharded epoch engine over a population curve and writes
+   BENCH_scale.json. The payload section of each run is a deterministic
+   function of the configuration (byte-identical for every --jobs value), so
+   the artifact is diffable across machines; wall time, events/s and GC peak
+   live in the host section. The memory claim compares the arena's
+   deterministic bytes/node at the largest population against a record-backed
+   consistent network measured at 10k nodes — the scale-up must at least
+   halve per-node state. *)
+let scale ~smoke () =
+  section "Scale: sharded epoch engine, packed ids + arena storage (writes BENCH_scale.json)";
+  let module Scale_bench = Ntcu_harness.Scale_bench in
+  let jobs = pool_jobs () in
+  let configs =
+    if smoke then [ Scale_bench.smoke_config ]
+    else
+      List.map
+        (fun n -> Scale_bench.default_config ~n ())
+        [ 10_000; 50_000; 100_000 ]
+  in
+  let runs =
+    List.map
+      (fun cfg ->
+        let r = Scale_bench.measure ~jobs cfg in
+        pf "%a@." Scale_bench.pp_run r;
+        ignore
+          (claim
+             (Printf.sprintf "scale: n=%d complete and consistent" cfg.Scale_bench.Scale.n)
+             (Scale_bench.ok r)
+            : bool);
+        r)
+      configs
+  in
+  let control = Scale_bench.control_bytes_per_node Ntcu_id.Params.paper_sim_d8 in
+  pf "record-backed control at 10k nodes: %.1f bytes/node@." control;
+  if not smoke then begin
+    let last = List.nth runs (List.length runs - 1) in
+    ignore
+      (claim "scale: arena bytes/node at 100k <= half the record control at 10k"
+         (Scale_bench.bytes_per_node last.Scale_bench.summary <= control /. 2.)
+        : bool)
+  end;
+  Report.Json.to_file "BENCH_scale.json"
+    (Scale_bench.bench_json ~control_bytes_per_node:control runs);
+  pf "wrote BENCH_scale.json@."
+
 (* ---- Backup neighbors: routing resilience before repair ---- *)
 
 let resilience () =
@@ -944,6 +991,7 @@ let () =
   if want "churn" then churn ();
   if want "churn-steady" then churn_steady ~smoke ();
   if want "serve" then serve ~smoke ();
+  if want "scale" then scale ~smoke ();
   if want "fault" then fault ~smoke ();
   if want "perf" then perf ~full ~smoke ();
   if want "micro" then micro ();

@@ -553,6 +553,115 @@ let serve_cmd =
       $ opt_float [ "half-life" ] "SECONDS" "Churn population half-life in virtual seconds."
       $ jobs_arg $ out)
 
+(* ---- scale ---- *)
+
+let scale_cmd =
+  let module Scale = Ntcu_scale.Scale in
+  let module Scale_bench = Ntcu_harness.Scale_bench in
+  let run smoke n seeds b d seed shards inject max_epochs jobs no_control out
+      payload_out =
+    match
+      let jobs = Ntcu_std.Parallel.resolve_jobs jobs in
+      let base =
+        if smoke then { Scale_bench.smoke_config with Scale.seed }
+        else Scale_bench.default_config ~seed ~n ()
+      in
+      let pick o dflt = Option.value o ~default:dflt in
+      let cfg =
+        {
+          base with
+          Scale.params = Params.make ~b:(pick b base.Scale.params.b) ~d:(pick d base.Scale.params.d);
+          n = (if smoke then base.Scale.n else n);
+          seeds = pick seeds base.Scale.seeds;
+          shards = pick shards base.Scale.shards;
+          inject_per_epoch = pick inject base.Scale.inject_per_epoch;
+          max_epochs = pick max_epochs base.Scale.max_epochs;
+        }
+      in
+      (jobs, cfg)
+    with
+    | exception Invalid_argument e ->
+      Format.eprintf "%s@." e;
+      2
+    | jobs, cfg -> (
+      match Scale_bench.measure ~jobs cfg with
+      | exception Invalid_argument e ->
+        Format.eprintf "%s@." e;
+        2
+      | r ->
+        Format.printf "%a@." Scale_bench.pp_run r;
+        let control =
+          if no_control then None
+          else
+            Some
+              (Scale_bench.control_bytes_per_node
+                 ~n:(min 10_000 cfg.Scale.n)
+                 ~seed:cfg.Scale.seed cfg.Scale.params)
+        in
+        Option.iter
+          (fun c ->
+            Format.printf "record-backed control: %.1f bytes/node (arena %.1f)@." c
+              (Scale_bench.bytes_per_node r.Scale_bench.summary))
+          control;
+        Ntcu_harness.Report.Json.to_file out
+          (Scale_bench.bench_json ?control_bytes_per_node:control [ r ]);
+        Format.printf "wrote %s@." out;
+        Option.iter
+          (fun path ->
+            Ntcu_harness.Report.Json.to_file path (Scale_bench.payload_json r);
+            Format.printf "wrote %s@." path)
+          payload_out;
+        if Scale_bench.ok r then 0 else 1)
+  in
+  let opt_int names doc = Arg.(value & opt (some int) None & info names ~docv:"N" ~doc) in
+  let smoke =
+    Arg.(value & flag & info [ "smoke" ] ~doc:"CI-sized run: 2000 nodes over 16 shards.")
+  in
+  let n =
+    Arg.(
+      value & opt int 100_000
+      & info [ "n" ] ~docv:"N" ~doc:"Total population, seeds included.")
+  in
+  let no_control =
+    Arg.(
+      value & flag
+      & info [ "no-control" ]
+          ~doc:"Skip the record-backed memory control (GC-measured, host-side).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "BENCH_scale.json"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the JSON artifact to $(docv).")
+  in
+  let payload_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "payload-out" ] ~docv:"FILE"
+          ~doc:
+            "Also write the deterministic payload section alone to $(docv) — \
+             byte-identical for every --jobs value, so two such files can be \
+             compared directly.")
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:
+         "Run one very large join-and-stabilize simulation on the sharded \
+          struct-of-arrays engine (packed ids, epoch lockstep, batched cross-shard \
+          wire traffic). Deterministic in --seed; --jobs accelerates the single run \
+          without changing its payload.")
+    Term.(
+      const run $ smoke $ n
+      $ opt_int [ "seeds" ] "Initially in-system nodes."
+      $ opt_int [ "b" ] "Digit base."
+      $ opt_int [ "d" ] "Digits per ID."
+      $ seed_arg
+      $ opt_int [ "shards" ] "Logical shard count (power of two)."
+      $ opt_int [ "inject" ] "Joiners started per epoch."
+      $ opt_int [ "max-epochs" ] "Safety bound on the epoch loop."
+      $ jobs_arg $ no_control $ out $ payload_out)
+
 (* ---- explore ---- *)
 
 let explore_cmd =
@@ -742,6 +851,7 @@ let main =
       fault_cmd;
       churn_cmd;
       serve_cmd;
+      scale_cmd;
       explore_cmd;
     ]
 

@@ -208,7 +208,7 @@ let seed_consistent t ~seed ids =
   if List.is_empty ids then invalid_arg "Multicast_join.seed_consistent: empty node list";
   let rng = Rng.create seed in
   List.iter (fun id -> register t (make_node t ~seed:true id)) ids;
-  let index = Ntcu_table.Suffix_index.of_ids ids in
+  let index = Ntcu_table.Suffix_index.of_ids ~params:t.params ids in
   List.iter
     (fun id ->
       let node = find t id in

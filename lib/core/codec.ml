@@ -7,9 +7,7 @@ exception Malformed of string
 
 let malformed fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
 
-let bits_per_digit b =
-  let rec go bits cap = if cap >= b then bits else go (bits + 1) (cap * 2) in
-  go 1 2
+module Packed = Ntcu_id.Packed
 
 (* Everything the codec derives from the namespace parameters, computed once,
    plus a reusable scratch buffer: a node encoding a stream of messages does
@@ -20,16 +18,18 @@ type context = {
   bpd : int; (* bits per digit *)
   idb : int; (* bytes per packed identifier *)
   bmb : int; (* bytes per d*b bitmap *)
+  lay : Packed.layout option; (* present iff the id space fits one tagged int *)
   scratch : Buffer.t;
 }
 
 let context (p : Params.t) =
-  let bpd = bits_per_digit p.b in
+  let bpd = Packed.bits_per_digit p.b in
   {
     p;
     bpd;
     idb = ((p.d * bpd) + 7) / 8;
     bmb = ((p.d * p.b) + 7) / 8;
+    lay = (if Packed.packable p then Some (Packed.layout p) else None);
     scratch = Buffer.create 256;
   }
 
@@ -46,20 +46,34 @@ let u16 (w : writer) v =
   u8 w (v land 0xff);
   u8 w (v lsr 8)
 
-(* Digits packed LSB-first: digit i occupies bits [i*bpd, (i+1)*bpd). *)
+(* A packable id's wire image is exactly its packed value, little-endian:
+   both lay digit i at bits [i*bpd, (i+1)*bpd). *)
+let put_raw_id (w : writer) c v =
+  let v = ref v in
+  for _ = 1 to c.idb do
+    Buffer.add_char w (Char.unsafe_chr (!v land 0xff));
+    v := !v lsr 8
+  done
+
+(* Digits packed LSB-first: digit i occupies bits [i*bpd, (i+1)*bpd). The
+   packed fast path emits the same bytes with one shift/or per digit and one
+   store per byte instead of the bit-accumulator loop. *)
 let put_id (w : writer) c id =
-  let bpd = c.bpd in
-  let acc = ref 0 and nbits = ref 0 in
-  for i = 0 to c.p.d - 1 do
-    acc := !acc lor (Id.digit id i lsl !nbits);
-    nbits := !nbits + bpd;
-    while !nbits >= 8 do
-      u8 w (!acc land 0xff);
-      acc := !acc lsr 8;
-      nbits := !nbits - 8
-    done
-  done;
-  if !nbits > 0 then u8 w (!acc land 0xff)
+  match c.lay with
+  | Some l -> put_raw_id w c (Packed.of_id l id :> int)
+  | None ->
+    let bpd = c.bpd in
+    let acc = ref 0 and nbits = ref 0 in
+    for i = 0 to c.p.d - 1 do
+      acc := !acc lor (Id.digit id i lsl !nbits);
+      nbits := !nbits + bpd;
+      while !nbits >= 8 do
+        u8 w (!acc land 0xff);
+        acc := !acc lsr 8;
+        nbits := !nbits - 8
+      done
+    done;
+    if !nbits > 0 then u8 w (!acc land 0xff)
 
 let put_state (w : writer) (s : Table.nstate) = u8 w (match s with T -> 0 | S -> 1)
 
@@ -127,6 +141,43 @@ let get_id r c =
   match Id.make c.p digits with
   | id -> id
   | exception Invalid_argument msg -> malformed "bad identifier: %s" msg
+
+(* Inverse of [put_raw_id]: the packed value from [idb] little-endian bytes.
+   Padding bits above [d*bpd] are masked off, matching [get_id]'s tolerance
+   of nonzero padding; per-digit range validation (needed only for
+   non-power-of-two bases) is the caller's via [Packed.of_int]. *)
+let get_raw_id r c =
+  need r c.idb;
+  let v = ref 0 in
+  for i = 0 to c.idb - 1 do
+    v := !v lor (Char.code r.data.[r.pos + i] lsl (8 * i))
+  done;
+  r.pos <- r.pos + c.idb;
+  let id_bits = c.p.d * c.bpd in
+  if id_bits >= 8 * c.idb then !v else !v land ((1 lsl id_bits) - 1)
+
+(* LEB128 unsigned varints, for the counts and deltas of cross-shard batch
+   frames: 7 value bits per byte, high bit = continuation, at most 9 bytes
+   (63 value bits) accepted. *)
+let put_uvarint (w : writer) v =
+  if v < 0 then invalid_arg "Codec.put_uvarint: negative";
+  let v = ref v in
+  while !v >= 0x80 do
+    Buffer.add_char w (Char.unsafe_chr (!v land 0x7f lor 0x80));
+    v := !v lsr 7
+  done;
+  Buffer.add_char w (Char.unsafe_chr !v)
+
+let get_uvarint r =
+  let v = ref 0 and shift = ref 0 and continue = ref true in
+  while !continue do
+    let byte = g8 r in
+    if !shift >= 63 then malformed "uvarint overflows 63 bits";
+    v := !v lor ((byte land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    if byte < 0x80 then continue := false
+  done;
+  !v
 
 let get_state r : Table.nstate =
   match g8 r with 0 -> T | 1 -> S | v -> malformed "bad state byte %d" v
@@ -287,6 +338,9 @@ let encoded_size_ctx c (m : Message.t) =
   | In_sys_noti -> 0
   | Spe_noti _ | Spe_noti_rly _ -> 2 * c.idb
   | Rv_ngh_noti _ | Rv_ngh_noti_rly _ -> 3
+
+let reader data = { data; pos = 0 }
+let reader_at_end r = r.pos >= String.length r.data
 
 (* ---- parameter-keyed convenience wrappers ---- *)
 

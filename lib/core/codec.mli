@@ -37,3 +37,37 @@ val decode : Ntcu_id.Params.t -> string -> (Message.t, string) result
 
 val encoded_size : Ntcu_id.Params.t -> Message.t -> int
 (** [String.length (encode p m)], without building the string. *)
+
+(** {1 Batch-frame primitives}
+
+    Building blocks for streams of many small frames over one buffer — the
+    sharded engine batches cross-shard deliveries through these, so its
+    traffic is byte-accounted in the same wire format as single messages.
+    Only packable parameter spaces ({!Ntcu_id.Packed.packable}) are
+    supported for raw ids. *)
+
+exception Malformed of string
+(** Raised by the [get_*] primitives below on truncated or invalid input
+    (the message-level {!decode} API still returns a [result]). *)
+
+type writer = Buffer.t
+
+type reader
+
+val reader : string -> reader
+val reader_at_end : reader -> bool
+
+val put_raw_id : writer -> context -> int -> unit
+(** Write a packed identifier value ([(Packed.of_id l id :> int)]) as the
+    identifier's standard wire image — [idb] little-endian bytes, identical
+    to what the message codec emits for the same identifier. *)
+
+val get_raw_id : reader -> context -> int
+(** Read back a packed identifier value; padding bits are masked. Digit-range
+    validation (non-power-of-two bases) is the caller's, via
+    {!Ntcu_id.Packed.of_int}. *)
+
+val put_uvarint : writer -> int -> unit
+(** LEB128 unsigned varint. @raise Invalid_argument on negative input. *)
+
+val get_uvarint : reader -> int

@@ -128,11 +128,7 @@ type size_mode = Full | Level_range | Bit_vector
 let header_bytes = 16
 let addr_bytes = 6
 
-let bits_per_digit b =
-  let rec go bits cap = if cap >= b then bits else go (bits + 1) (cap * 2) in
-  go 1 2
-
-let id_bytes (p : Params.t) = ((p.d * bits_per_digit p.b) + 7) / 8
+let id_bytes (p : Params.t) = ((p.d * Ntcu_id.Packed.bits_per_digit p.b) + 7) / 8
 
 let node_ref_bytes p = id_bytes p + addr_bytes
 

@@ -76,6 +76,13 @@ val start_join : t -> ?at:float -> id:Ntcu_id.Id.t -> gateway:Ntcu_id.Id.t -> un
     a registered node (assumption (ii) of the paper).
     @raise Invalid_argument if [id] is already registered. *)
 
+val start_joins : t -> (float * Ntcu_id.Id.t * Ntcu_id.Id.t) list -> unit
+(** [start_joins t [(at, id, gateway); ...]] behaves exactly like calling
+    {!start_join} on each triple left to right — same registration order,
+    same event tie-break order — but seeds the event queue in O(n)
+    ({!Ntcu_sim.Engine.schedule_batch}) instead of n heap pushes. Preferred
+    for large concurrent-join populations. *)
+
 val run : ?max_events:int -> t -> unit
 (** Run the simulation to quiescence. *)
 

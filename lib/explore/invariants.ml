@@ -44,8 +44,8 @@ let consistency net =
    joiners (the proof's induction unit; see test_cset.ml for the manual
    version of this walk). *)
 let cset net ~seeds ~joiners =
-  let idx = Suffix_index.of_ids seeds in
   let p = Network.params net in
+  let idx = Suffix_index.of_ids ~params:p seeds in
   let lookup x = Option.map Node.table (Network.node net x) in
   let groups = ref [] in
   List.iter

@@ -74,11 +74,10 @@ let concurrent_joins ?latency ?size_mode ?(suffix = [||]) ?(stagger = 0.) p ~see
   let net = Network.create ~latency ?size_mode p in
   Network.seed_consistent net ~seed:(seed + 2) seeds;
   let gateways = Array.of_list seeds in
-  List.iteri
-    (fun i id ->
-      Network.start_join net ~at:(float_of_int i *. stagger) ~id
-        ~gateway:(Rng.pick rng gateways) ())
-    joiners;
+  Network.start_joins net
+    (List.mapi
+       (fun i id -> (float_of_int i *. stagger, id, Rng.pick rng gateways))
+       joiners);
   Network.run net;
   finish ~t0 net seeds joiners
 
@@ -141,9 +140,7 @@ let fig15b_instrumented ?(routers = Ntcu_topology.Transit_stub.scaled_config) ?s
   (* Hosts are indexed in registration order: seeds first, then joiners. *)
   Network.seed_consistent net ~seed:(seed + 2) seeds;
   let gateways = Array.of_list seeds in
-  List.iter
-    (fun id -> Network.start_join net ~at:0. ~id ~gateway:(Rng.pick rng gateways) ())
-    joiners;
+  Network.start_joins net (List.map (fun id -> (0., id, Rng.pick rng gateways)) joiners);
   Network.run net;
   (finish ~t0 net seeds joiners, hosts)
 

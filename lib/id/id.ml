@@ -93,7 +93,16 @@ let compare (x : t) (y : t) =
   in
   go (d - 1)
 
-let hash (x : t) = Hashtbl.hash x
+(* Deterministic FNV-1a fold over the digit sequence. [Packed.hash] replays
+   the same fold over its shift/mask digits, so the two representations of an
+   identifier agree as hash-table keys; the 30-bit mask keeps the fold inside
+   the tagged-int range on every word size. *)
+let hash (x : t) =
+  let h = ref 0x811c9dc5 in
+  for i = 0 to Array.length x - 1 do
+    h := (!h lxor x.(i)) * 0x01000193 land 0x3FFFFFFF
+  done;
+  !h
 
 let pp ppf x = Fmt.string ppf (to_string x)
 

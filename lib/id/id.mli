@@ -52,6 +52,9 @@ val random_with_suffix : Ntcu_std.Rng.t -> Params.t -> int array -> t
 
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
+(** Deterministic FNV-1a fold over the digit sequence — independent of the
+    in-memory representation and in lockstep with {!Packed.hash}. *)
 val hash : t -> int
 val pp : t Fmt.t
 

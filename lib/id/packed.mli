@@ -1,0 +1,89 @@
+(** Bit-packed identifiers: one id in one tagged [int].
+
+    Digit [i] (0 = rightmost, as in {!Id}) occupies bits
+    [i*bits .. (i+1)*bits - 1] with [bits = ceil(log2 b)], so integer order on
+    packed values coincides with {!Id.compare} and common suffixes appear as
+    shared low bits. Only spaces with [d * bits <= 62] are packable —
+    [Params.paper_sim_d8] is, [Params.paper_sim_d40] is not — so callers gate
+    fast paths on {!packable} and keep the [int array] form as the general
+    representation. *)
+
+type t = private int
+(** A packed identifier. The coercion [(x :> int)] is free; it is how arena
+    code stores ids in flat [int array] columns and wire frames. *)
+
+type layout
+(** Precomputed shift/mask data for one parameter space. Hot loops take the
+    layout once instead of re-deriving widths per call. *)
+
+val bits_per_digit : int -> int
+(** [ceil(log2 b)] — bits needed for one digit of base [b]. This is the same
+    width the wire codec packs per digit. *)
+
+val packable : Params.t -> bool
+(** Does [b^d] fit 62 bits, i.e. can every id of this space pack into one
+    non-negative tagged int? *)
+
+val layout : Params.t -> layout
+(** @raise Invalid_argument if [not (packable p)]. *)
+
+val params : layout -> Params.t
+val bits : layout -> int
+
+val id_bits : layout -> int
+(** Total bits occupied by an id: [d * bits]. *)
+
+val of_id : layout -> Id.t -> t
+val to_id : layout -> t -> Id.t
+(** Lossless conversions; [to_id l (of_id l x)] is [Id.equal] to [x]. *)
+
+val make : layout -> int array -> t
+(** As {!Id.make}: digit [i] of the array is the [i]th digit from the right.
+    @raise Invalid_argument on wrong length or out-of-range digit. *)
+
+val of_string : layout -> string -> t
+val to_string : layout -> t -> string
+(** Textual form, identical to {!Id.of_string} / {!Id.to_string}. *)
+
+val of_int : layout -> int -> t
+(** Re-enter the abstraction from a raw stored int, validating range and —
+    for non-power-of-two bases — every digit. *)
+
+val unsafe_of_int : int -> t
+(** Trusted re-entry for arena columns that only ever store [(x :> int)] of
+    valid packed ids. No validation. *)
+
+val to_int : t -> int
+
+val digit : layout -> t -> int -> int
+(** [digit l x i] is the [i]th digit from the right: shift and mask. *)
+
+val csuf_len : layout -> t -> t -> int
+(** Longest common suffix length, the paper's [|csuf(x, y)|]: trailing zero
+    digit groups of [x lxor y]. *)
+
+val suffix_value : layout -> t -> int -> int
+(** [suffix_value l x k] is the rightmost [k] digits as one packed int — the
+    natural key for int-keyed suffix tables. *)
+
+val suffix : layout -> t -> int -> int array
+(** As {!Id.suffix}, for interop with array-suffix APIs. *)
+
+val has_suffix : layout -> t -> int array -> bool
+
+val random : Ntcu_std.Rng.t -> layout -> t
+val random_with_suffix : Ntcu_std.Rng.t -> layout -> int array -> t
+(** Draw identically-distributed ids to {!Id.random} /
+    {!Id.random_with_suffix}, consuming the generator in the same order, so a
+    packed and an array-form draw from equal-state generators yield the same
+    identifier. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** [Int.compare] on packed values — agrees with {!Id.compare}. *)
+
+val hash : layout -> t -> int
+(** Digit-fold hash, in lockstep with {!Id.hash}: both representations of one
+    identifier hash identically. *)
+
+val pp : layout -> t Fmt.t

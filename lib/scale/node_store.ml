@@ -1,0 +1,379 @@
+module Params = Ntcu_id.Params
+module Packed = Ntcu_id.Packed
+
+(* Struct-of-arrays arena for node hot state.
+
+   The record-based simulator spends its memory on one [Node.t] record, one
+   [Table.t] (a [slot option array] of pointers plus [Id.Set.t] reverse sets)
+   and several [Id.Tbl] entries per node — every table cell is a boxed
+   2-field record pointing at a boxed int array id. Here the same state is
+   flat columns of a single arena:
+
+   - [ids]: packed id per slot ([-1] = free slot);
+   - [status]: one byte per slot;
+   - [cells]: [d*b] ints per slot, the (level, digit) entry's occupant as a
+     packed id or [-1];
+   - [cstate]: one bit per cell, the occupant's believed T/S state;
+   - [filled]: filled-cell count per slot;
+   - a shared int-pair pool carrying all per-node linked lists (reverse
+     pointers and the join-time bookkeeping queues), with one list head
+     column per list kind.
+
+   Per-node cost is dominated by [d*b] cell words — 8 bytes per entry versus
+   the record layout's option-boxed pointer + slot record + shared id
+   arrays — and everything is indexed by slot int, so the only remaining
+   hashing is one int-keyed [slot_of] lookup per delivered message.
+
+   Churn reuses slots through a free stack; [remove] releases the node's pool
+   lists. Like [Network.remove], it does not scrub other nodes' cells that
+   reference the departed id — the consistency checker reports those as
+   dangling, matching the record semantics. *)
+
+type t = {
+  lay : Packed.layout;
+  d : int;
+  b : int;
+  mutable cap : int; (* allocated slots *)
+  mutable live : int;
+  mutable high : int; (* slots ever handed out; scan bound for iteration *)
+  mutable ids : int array;
+  mutable status : Bytes.t;
+  mutable cells : int array;
+  mutable cstate : Bytes.t; (* bit per cell *)
+  mutable filled : int array;
+  mutable rev_head : int array;
+  mutable aux_head : int array array; (* aux list kind -> per-slot head column *)
+  slot_of : (int, int) Hashtbl.t;
+  mutable free_stack : int array;
+  mutable free_top : int;
+  (* shared pool of (value, tag, next) triples for all linked lists *)
+  mutable pool_val : int array;
+  mutable pool_tag : int array;
+  mutable pool_next : int array;
+  mutable pool_free : int; (* head of pool free list, -1 = none *)
+  mutable pool_used : int; (* high-water mark of pool slots handed out *)
+}
+
+let state_t = 0
+let state_s = 1
+
+(* Node statuses, one byte each. [free] marks an unallocated slot. *)
+let status_free = 0
+let status_copying = 1
+let status_waiting = 2
+let status_notifying = 3
+let status_in_system = 4
+
+let aux_kinds = 2 (* join bookkeeping: notified set, deferred join-waits *)
+
+let create ?(cap = 1024) (p : Params.t) =
+  if not (Packed.packable p) then
+    invalid_arg "Node_store.create: parameter space is not packable";
+  let cap = max cap 1 in
+  let lay = Packed.layout p in
+  {
+    lay;
+    d = p.d;
+    b = p.b;
+    cap;
+    live = 0;
+    high = 0;
+    ids = Array.make cap (-1);
+    status = Bytes.make cap (Char.chr status_free);
+    cells = Array.make (cap * p.d * p.b) (-1);
+    cstate = Bytes.make ((cap * p.d * p.b / 8) + 1) '\000';
+    filled = Array.make cap 0;
+    rev_head = Array.make cap (-1);
+    aux_head = Array.init aux_kinds (fun _ -> Array.make cap (-1));
+    slot_of = Hashtbl.create (2 * cap);
+    free_stack = Array.make cap 0;
+    free_top = 0;
+    pool_val = Array.make cap 0;
+    pool_tag = Array.make cap 0;
+    pool_next = Array.make cap (-1);
+    pool_free = -1;
+    pool_used = 0;
+  }
+
+let layout t = t.lay
+let params t = Packed.params t.lay
+let live t = t.live
+let capacity t = t.cap
+let high_slot t = t.high
+
+(* ---- growth ---- *)
+
+let grow_slots t needed =
+  let ncap = max needed (2 * t.cap) in
+  let nids = Array.make ncap (-1) in
+  Array.blit t.ids 0 nids 0 t.cap;
+  t.ids <- nids;
+  let nstatus = Bytes.make ncap (Char.chr status_free) in
+  Bytes.blit t.status 0 nstatus 0 t.cap;
+  t.status <- nstatus;
+  let stride = t.d * t.b in
+  let ncells = Array.make (ncap * stride) (-1) in
+  Array.blit t.cells 0 ncells 0 (t.cap * stride);
+  t.cells <- ncells;
+  let ncstate = Bytes.make ((ncap * stride / 8) + 1) '\000' in
+  Bytes.blit t.cstate 0 ncstate 0 (Bytes.length t.cstate) ;
+  t.cstate <- ncstate;
+  let copy_col col =
+    let ncol = Array.make ncap (-1) in
+    Array.blit col 0 ncol 0 t.cap;
+    ncol
+  in
+  t.filled <-
+    (let nf = Array.make ncap 0 in
+     Array.blit t.filled 0 nf 0 t.cap;
+     nf);
+  t.rev_head <- copy_col t.rev_head;
+  t.aux_head <- Array.map copy_col t.aux_head;
+  let nfree = Array.make ncap 0 in
+  Array.blit t.free_stack 0 nfree 0 t.free_top;
+  t.free_stack <- nfree;
+  t.cap <- ncap
+
+let ensure_capacity t n = if n > t.cap then grow_slots t n
+
+(* ---- pool (linked lists of (value, tag) pairs) ---- *)
+
+let pool_alloc t v tag next =
+  match t.pool_free with
+  | -1 ->
+    let i = t.pool_used in
+    if i = Array.length t.pool_val then begin
+      let ncap = 2 * Array.length t.pool_val in
+      let gr a = let n = Array.make ncap 0 in Array.blit a 0 n 0 i; n in
+      t.pool_val <- gr t.pool_val;
+      t.pool_tag <- gr t.pool_tag;
+      t.pool_next <- gr t.pool_next
+    end;
+    t.pool_used <- i + 1;
+    t.pool_val.(i) <- v;
+    t.pool_tag.(i) <- tag;
+    t.pool_next.(i) <- next;
+    i
+  | i ->
+    t.pool_free <- t.pool_next.(i);
+    t.pool_val.(i) <- v;
+    t.pool_tag.(i) <- tag;
+    t.pool_next.(i) <- next;
+    i
+
+let pool_release_list t head =
+  let i = ref head in
+  while !i <> -1 do
+    let next = t.pool_next.(!i) in
+    t.pool_next.(!i) <- t.pool_free;
+    t.pool_free <- !i;
+    i := next
+  done
+
+(* ---- slots ---- *)
+
+let find t pid = Hashtbl.find_opt t.slot_of (pid : Packed.t :> int)
+let mem t pid = Hashtbl.mem t.slot_of (pid : Packed.t :> int)
+
+let slot_exn t pid =
+  match find t pid with
+  | Some s -> s
+  | None -> invalid_arg "Node_store: unknown node"
+
+let id_of t slot = Packed.unsafe_of_int t.ids.(slot)
+
+let add t pid =
+  let key = (pid : Packed.t :> int) in
+  if Hashtbl.mem t.slot_of key then invalid_arg "Node_store.add: id already present";
+  let slot =
+    if t.free_top > 0 then begin
+      t.free_top <- t.free_top - 1;
+      t.free_stack.(t.free_top)
+    end
+    else begin
+      if t.high = t.cap then grow_slots t (t.high + 1);
+      let s = t.high in
+      t.high <- t.high + 1;
+      s
+    end
+  in
+  t.ids.(slot) <- key;
+  Bytes.set t.status slot (Char.chr status_copying);
+  t.live <- t.live + 1;
+  Hashtbl.replace t.slot_of key slot;
+  slot
+
+let cell_base t slot = slot * t.d * t.b
+
+let clear_slot_cells t slot =
+  let base = cell_base t slot in
+  for i = base to base + (t.d * t.b) - 1 do
+    t.cells.(i) <- -1
+  done;
+  t.filled.(slot) <- 0
+
+let remove t pid =
+  let key = (pid : Packed.t :> int) in
+  match Hashtbl.find_opt t.slot_of key with
+  | None -> invalid_arg "Node_store.remove: unknown node"
+  | Some slot ->
+    Hashtbl.remove t.slot_of key;
+    t.ids.(slot) <- -1;
+    Bytes.set t.status slot (Char.chr status_free);
+    clear_slot_cells t slot;
+    pool_release_list t t.rev_head.(slot);
+    t.rev_head.(slot) <- -1;
+    Array.iter
+      (fun col ->
+        pool_release_list t col.(slot);
+        col.(slot) <- -1)
+      t.aux_head;
+    if t.free_top = Array.length t.free_stack then begin
+      let nf = Array.make (2 * t.free_top) 0 in
+      Array.blit t.free_stack 0 nf 0 t.free_top;
+      t.free_stack <- nf
+    end;
+    t.free_stack.(t.free_top) <- slot;
+    t.free_top <- t.free_top + 1;
+    t.live <- t.live - 1
+
+let status t slot = Char.code (Bytes.get t.status slot)
+let set_status t slot st = Bytes.set t.status slot (Char.chr st)
+
+(* ---- cells ---- *)
+
+let cell_index t slot ~level ~digit =
+  if level < 0 || level >= t.d || digit < 0 || digit >= t.b then
+    invalid_arg "Node_store: cell position out of range";
+  cell_base t slot + (level * t.b) + digit
+
+let cell t slot ~level ~digit = t.cells.(cell_index t slot ~level ~digit)
+
+let cell_state t idx =
+  Char.code (Bytes.get t.cstate (idx lsr 3)) lsr (idx land 7) land 1
+
+let set_cell_state t idx st =
+  let byte = Char.code (Bytes.get t.cstate (idx lsr 3)) in
+  let bit = 1 lsl (idx land 7) in
+  let byte = if st = state_s then byte lor bit else byte land lnot bit in
+  Bytes.set t.cstate (idx lsr 3) (Char.chr byte)
+
+let state t slot ~level ~digit =
+  let idx = cell_index t slot ~level ~digit in
+  if t.cells.(idx) = -1 then invalid_arg "Node_store.state: empty entry";
+  cell_state t idx
+
+(* The occupant of the (level, digit) entry must share the owner's low
+   [level] digits and have [digit] at position [level] — same validation as
+   [Table.set], expressed on packed values. *)
+let required_ok t slot ~level ~digit pid =
+  let key = (pid : Packed.t :> int) in
+  let owner = t.ids.(slot) in
+  let bits = Packed.bits t.lay in
+  let low_mask = (1 lsl (level * bits)) - 1 in
+  key land low_mask = owner land low_mask && (key lsr (level * bits)) land ((1 lsl bits) - 1) = digit
+
+let set t slot ~level ~digit pid st =
+  if not (required_ok t slot ~level ~digit pid) then
+    invalid_arg "Node_store.set: node does not carry the entry's required suffix";
+  let idx = cell_index t slot ~level ~digit in
+  if t.cells.(idx) = -1 then t.filled.(slot) <- t.filled.(slot) + 1;
+  t.cells.(idx) <- (pid : Packed.t :> int);
+  set_cell_state t idx st
+
+let clear_cell t slot ~level ~digit =
+  let idx = cell_index t slot ~level ~digit in
+  if t.cells.(idx) <> -1 then begin
+    t.cells.(idx) <- -1;
+    t.filled.(slot) <- t.filled.(slot) - 1
+  end
+
+let set_state t slot ~level ~digit st =
+  let idx = cell_index t slot ~level ~digit in
+  if t.cells.(idx) = -1 then invalid_arg "Node_store.set_state: empty entry";
+  set_cell_state t idx st
+
+let filled_count t slot = t.filled.(slot)
+
+let fill_self t slot st =
+  let owner = Packed.unsafe_of_int t.ids.(slot) in
+  for level = 0 to t.d - 1 do
+    set t slot ~level ~digit:(Packed.digit t.lay owner level) owner st
+  done
+
+(* ---- reverse neighbors ---- *)
+
+(* One list entry per (storer, level, digit) registration, newest first —
+   the flat analogue of [Table.add_reverse]. Duplicate registrations are the
+   caller's concern (the protocol installs into an empty cell exactly once
+   per position). *)
+let add_reverse t slot ~storer ~level ~digit =
+  let pos = (level * t.b) + digit in
+  t.rev_head.(slot) <-
+    pool_alloc t (storer : Packed.t :> int) pos t.rev_head.(slot)
+
+let iter_reverse t slot f =
+  let i = ref t.rev_head.(slot) in
+  while !i <> -1 do
+    f (Packed.unsafe_of_int t.pool_val.(!i)) ~pos:t.pool_tag.(!i);
+    i := t.pool_next.(!i)
+  done
+
+let remove_reverse t slot pid =
+  let key = (pid : Packed.t :> int) in
+  let rec filter i =
+    if i = -1 then -1
+    else begin
+      let next = filter t.pool_next.(i) in
+      if t.pool_val.(i) = key then begin
+        t.pool_next.(i) <- t.pool_free;
+        t.pool_free <- i;
+        next
+      end
+      else begin
+        t.pool_next.(i) <- next;
+        i
+      end
+    end
+  in
+  t.rev_head.(slot) <- filter t.rev_head.(slot)
+
+(* ---- aux lists (join bookkeeping) ---- *)
+
+let aux_push t ~kind slot v =
+  let col = t.aux_head.(kind) in
+  col.(slot) <- pool_alloc t v 0 col.(slot)
+
+let aux_mem t ~kind slot v =
+  let i = ref t.aux_head.(kind).(slot) in
+  let found = ref false in
+  while (not !found) && !i <> -1 do
+    if t.pool_val.(!i) = v then found := true else i := t.pool_next.(!i)
+  done;
+  !found
+
+let aux_iter t ~kind slot f =
+  let i = ref t.aux_head.(kind).(slot) in
+  while !i <> -1 do
+    f t.pool_val.(!i);
+    i := t.pool_next.(!i)
+  done
+
+let aux_clear t ~kind slot =
+  pool_release_list t t.aux_head.(kind).(slot);
+  t.aux_head.(kind).(slot) <- -1
+
+(* ---- memory accounting ---- *)
+
+(* Deterministic structural size in words: every column counted exactly, the
+   int-keyed hashtable estimated at 4 words per live binding (bucket pointer
+   amortized + 3-word bucket cell), which slightly undercounts its internal
+   array slack. Host-side [Gc] measurements complement this in the bench. *)
+let words t =
+  let arr (a : int array) = Array.length a + 1 in
+  let bytes (b : Bytes.t) = (Bytes.length b / 8) + 2 in
+  arr t.ids + bytes t.status + arr t.cells + bytes t.cstate + arr t.filled
+  + arr t.rev_head
+  + Array.fold_left (fun acc col -> acc + arr col) 0 t.aux_head
+  + arr t.free_stack + arr t.pool_val + arr t.pool_tag + arr t.pool_next
+  + (4 * Hashtbl.length t.slot_of)

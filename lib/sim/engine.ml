@@ -55,6 +55,16 @@ let schedule t ~delay f =
   if delay < 0. then invalid_arg "Engine.schedule: negative delay";
   schedule_at t ~time:(t.clock +. delay) f
 
+let schedule_batch t events =
+  check_owner t "schedule_batch";
+  List.iter
+    (fun (time, _) ->
+      if time < t.clock then
+        invalid_arg
+          (Printf.sprintf "Engine.schedule_batch: time %g is before now %g" time t.clock))
+    events;
+  Ntcu_std.Pqueue.add_list t.queue events
+
 (* Keep only handles whose element is still physically queued: a fired or
    properly-cancelled handle left the queue and needs no further watching,
    while a leaked cancellation (cancelled flag set, element still queued)

@@ -26,6 +26,15 @@ val schedule_at : t -> time:float -> (unit -> unit) -> unit
 (** [schedule_at t ~time f] runs [f] at absolute time [time].
     @raise Invalid_argument if [time] is in the past. *)
 
+val schedule_batch : t -> (float * (unit -> unit)) list -> unit
+(** [schedule_batch t events] schedules every [(time, thunk)] pair at once,
+    equivalent to calling {!schedule_at} on them left to right but heapifying
+    in O(pending + n) ({!Ntcu_std.Pqueue.add_list}). Use it to seed large
+    event populations — e.g. tens of thousands of staggered joins — where
+    per-event sifts would cost O(n log n).
+    @raise Invalid_argument if any time is in the past (no event is then
+    scheduled). *)
+
 type handle
 (** A cancellable timer (used by the retransmission layer). *)
 

@@ -34,6 +34,18 @@ val push : 'a t -> float -> 'a -> unit
 val push_handle : 'a t -> float -> 'a -> 'a handle
 (** Like {!push}, but returns a handle for later {!remove}/{!decrease_key}. *)
 
+val of_list : (float * 'a) list -> 'a t
+(** [of_list items] builds a queue holding every [(key, value)] pair in O(n)
+    (bottom-up heapify) instead of the O(n log n) of repeated pushes.
+    Sequence numbers follow list order, so the result pops exactly like a
+    fresh queue into which the pairs were {!push}ed left to right. *)
+
+val add_list : 'a t -> (float * 'a) list -> unit
+(** [add_list q items] inserts all pairs at once, heapifying in
+    O(length q + n). Equivalent to {!push}ing them left to right — same pop
+    order, and handles of already-queued elements stay valid. Preferable to
+    repeated pushes when seeding a large event population. *)
+
 val pop : 'a t -> (float * 'a) option
 (** Removes and returns the entry with the smallest key; among equal keys, the
     one pushed first. [None] when empty. *)

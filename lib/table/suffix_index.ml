@@ -1,29 +1,90 @@
 module Id = Ntcu_id.Id
+module Packed = Ntcu_id.Packed
+
+(* Two keying strategies behind one interface. The general path hashes the
+   suffix array structurally. When the parameter space is packable and the
+   caller supplies it, suffixes are keyed as packed ints in per-length
+   tables — int hashing instead of array hashing on every build step and
+   query, which is the difference between O(len) hash work and O(1) at the
+   million-entry scale. Both paths store members in the same (reverse
+   insertion) order, so query results are identical. *)
+type keying =
+  | By_array of (int array, Id.t list ref) Hashtbl.t
+  | By_packed of Packed.layout * (int, Id.t list ref) Hashtbl.t array
+      (* index = suffix length, 1 .. d *)
 
 type t = {
-  by_suffix : (int array, Id.t list ref) Hashtbl.t;
+  keying : keying;
   all : Id.t list; (* indexed ids, for the empty suffix *)
 }
 
-let of_ids ids =
-  let by_suffix = Hashtbl.create 1024 in
-  List.iter
-    (fun id ->
-      for len = 1 to Id.length id do
-        let suffix = Id.suffix id len in
-        match Hashtbl.find_opt by_suffix suffix with
-        | Some l -> l := id :: !l
-        | None -> Hashtbl.add by_suffix suffix (ref [ id ])
-      done)
-    ids;
-  { by_suffix; all = ids }
+let of_ids ?params ids =
+  let keying =
+    match params with
+    | Some p when Packed.packable p ->
+        let l = Packed.layout p in
+        let tables = Array.init (p.Ntcu_id.Params.d + 1) (fun _ -> Hashtbl.create 64) in
+        List.iter
+          (fun id ->
+            let x = Packed.of_id l id in
+            for len = 1 to Id.length id do
+              let key = Packed.suffix_value l x len in
+              match Hashtbl.find_opt tables.(len) key with
+              | Some r -> r := id :: !r
+              | None -> Hashtbl.add tables.(len) key (ref [ id ])
+            done)
+          ids;
+        By_packed (l, tables)
+    | Some _ | None ->
+        let by_suffix = Hashtbl.create 1024 in
+        List.iter
+          (fun id ->
+            for len = 1 to Id.length id do
+              let suffix = Id.suffix id len in
+              match Hashtbl.find_opt by_suffix suffix with
+              | Some r -> r := id :: !r
+              | None -> Hashtbl.add by_suffix suffix (ref [ id ])
+            done)
+          ids;
+        By_array by_suffix
+  in
+  { keying; all = ids }
+
+(* Fold an array-form suffix into its packed value. Returns [None] when the
+   suffix cannot name any indexed id (too long, or a digit outside the
+   packed range), which the callers below report as "no members". *)
+let packed_key l suffix =
+  let len = Array.length suffix in
+  if len > (Packed.params l).Ntcu_id.Params.d then None
+  else begin
+    let bits = Packed.bits l in
+    let mask = (1 lsl bits) - 1 in
+    let v = ref 0 in
+    let ok = ref true in
+    for i = 0 to len - 1 do
+      if suffix.(i) < 0 || suffix.(i) > mask then ok := false
+      else v := !v lor (suffix.(i) lsl (i * bits))
+    done;
+    if !ok then Some !v else None
+  end
 
 let members t suffix =
-  if Array.length suffix = 0 then t.all
+  let len = Array.length suffix in
+  if len = 0 then t.all
   else begin
-    match Hashtbl.find_opt t.by_suffix suffix with
-    | Some l -> !l
-    | None -> []
+    match t.keying with
+    | By_array by_suffix -> begin
+        match Hashtbl.find_opt by_suffix suffix with Some r -> !r | None -> []
+      end
+    | By_packed (l, tables) ->
+        if len >= Array.length tables then []
+        else begin
+          match packed_key l suffix with
+          | None -> []
+          | Some key -> begin
+              match Hashtbl.find_opt tables.(len) key with Some r -> !r | None -> []
+            end
+        end
   end
 
 let mem t suffix = not (List.is_empty (members t suffix))

@@ -5,7 +5,11 @@
 
 type t
 
-val of_ids : Ntcu_id.Id.t list -> t
+val of_ids : ?params:Ntcu_id.Params.t -> Ntcu_id.Id.t list -> t
+(** Build the index. When [params] is supplied and the space is
+    {!Ntcu_id.Packed.packable}, suffixes are keyed as packed ints (per-length
+    tables) instead of structurally hashed arrays — same query results,
+    constant-time hashing. *)
 
 val mem : t -> int array -> bool
 (** Does any indexed identifier end with the suffix? (The empty suffix is in

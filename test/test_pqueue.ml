@@ -181,6 +181,28 @@ let interleaved_operations =
         operations;
       !ok)
 
+(* of_list/add_list heapify must be observationally identical to pushing the
+   same pairs one by one — including FIFO rank on equal keys. *)
+let bulk_build_matches_pushes =
+  qtest "of_list/add_list equal sequential pushes"
+    QCheck.(
+      pair
+        (list (pair (float_bound_exclusive 10.) small_nat))
+        (list (pair (float_bound_exclusive 10.) small_nat)))
+    (fun (first, second) ->
+      let bulk = Pqueue.of_list first in
+      Pqueue.add_list bulk second;
+      let slow = Pqueue.create () in
+      List.iter (fun (k, v) -> Pqueue.push slow k v) first;
+      List.iter (fun (k, v) -> Pqueue.push slow k v) second;
+      let rec drain q acc =
+        match Pqueue.pop q with
+        | Some kv -> drain q (kv :: acc)
+        | None -> List.rev acc
+      in
+      Pqueue.length bulk = List.length first + List.length second
+      && drain bulk [] = drain slow [])
+
 let suites =
   [
     ( "std.pqueue",
@@ -196,5 +218,6 @@ let suites =
         Alcotest.test_case "foreign handles" `Quick foreign_handles_rejected;
         heap_sorts;
         interleaved_operations;
+        bulk_build_matches_pushes;
       ] );
   ]
