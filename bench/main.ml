@@ -15,7 +15,7 @@
 
    Sections: fig15a fig15b avg-vs-bound theorem3 theorem4 baseline msgsize
              census latency-ablation optimize churn churn-steady serve scale
-             assumption resilience fault perf micro
+             arena assumption resilience fault perf micro
 
    Every independent-run sweep (the four fig15b setups, the 300-run Theorem 4
    estimator, the size-mode and latency-model ablations, the fault-injection
@@ -656,6 +656,50 @@ let scale ~smoke () =
     (Scale_bench.bench_json ~control_bytes_per_node:control runs);
   pf "wrote BENCH_scale.json@."
 
+(* ---- Protocol arena: paper vs Chord vs baseline, head to head ---- *)
+
+(* Runs every arm of the pluggable-protocol arena — the paper's protocol,
+   corrected Chord, the multicast baseline and naive Chord — on the identical
+   seeded topology, join/leave schedule and lookup pairs, and writes the
+   paired report to BENCH_arena.json (byte-identical across --jobs values).
+   The production arms (paper, corrected Chord) must pass their own
+   invariants; the naive-Chord arm is the designed differential and must NOT
+   — silent departures break its ring where successor redundancy and the
+   paper's repair survive. The baseline column is comparison data only: its
+   concurrency unsafety is already claimed by the [baseline] section, and
+   whether the races fire here depends on the scale. *)
+let arena ~smoke () =
+  section "Protocol arena: paper vs Chord vs baseline (writes BENCH_arena.json)";
+  let module Arena = Ntcu_harness.Arena in
+  let base = if smoke then Arena.smoke else Arena.default in
+  let cfg =
+    { base with
+      Arena.arms = [ Arena.Paper; Arena.Chord; Arena.Baseline; Arena.Chord_naive ] }
+  in
+  let report = Arena.run ~jobs:(pool_jobs ()) cfg in
+  pf "%a@." Arena.pp_report report;
+  List.iter
+    (fun (r : Arena.arm_result) ->
+      let name = Arena.arm_name r.Arena.arm in
+      match r.Arena.arm with
+      | Arena.Chord_naive ->
+        ignore
+          (claim "arena: naive chord exhibits the differential (violations expected)"
+             (not (Arena.arm_ok r))
+            : bool)
+      | Arena.Baseline -> ()
+      | Arena.Paper | Arena.Chord ->
+        ignore (claim (Printf.sprintf "arena: %s arm invariants" name) (Arena.arm_ok r) : bool);
+        ignore
+          (claim
+             (Printf.sprintf "arena: %s arm answers every lookup" name)
+             (r.Arena.lookups_attempted > 0
+             && r.Arena.lookups_ok = r.Arena.lookups_attempted)
+            : bool))
+    report.Arena.results;
+  Arena.write ~path:"BENCH_arena.json" report;
+  pf "wrote BENCH_arena.json@."
+
 (* ---- Backup neighbors: routing resilience before repair ---- *)
 
 let resilience () =
@@ -992,6 +1036,7 @@ let () =
   if want "churn-steady" then churn_steady ~smoke ();
   if want "serve" then serve ~smoke ();
   if want "scale" then scale ~smoke ();
+  if want "arena" then arena ~smoke ();
   if want "fault" then fault ~smoke ();
   if want "perf" then perf ~full ~smoke ();
   if want "micro" then micro ();

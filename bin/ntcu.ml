@@ -279,7 +279,7 @@ let fault_cmd =
     in
     Format.printf "%a" Report.pp_fault_run f;
     (* Best-effort claim: crash-over-join repair can legitimately leave a
-       residual hole (e.g. --seed 196 --crash 0.05 at n=24 m=10 b=4 d=6), so
+       residual hole (the pinned Experiment.residual_hole fixture), so
        consistency is reported above but only liveness and quiescence gate
        the exit status. *)
     if Experiment.ok ~claim:Experiment.Best_effort f.run then 0 else 1
@@ -669,8 +669,8 @@ let explore_cmd =
   let module Episode = Ntcu_explore.Episode in
   let module Scheduler = Ntcu_explore.Scheduler in
   let module Repro = Ntcu_explore.Repro in
-  let run budget seed scheduler scenario n m b d jobs smoke inject_fault no_midflight
-      out max_shrinks replay =
+  let run budget seed scheduler scenario n m b d jobs smoke inject_fault chord_naive
+      no_midflight out max_shrinks replay =
     match replay with
     | Some path -> (
       match Repro.load path with
@@ -728,6 +728,7 @@ let explore_cmd =
             b = pick b base.Explore.b;
             d = pick d base.Explore.d;
             fault;
+            chord_naive;
             midflight = not no_midflight;
             jobs = Ntcu_std.Parallel.resolve_jobs jobs;
             max_shrinks = pick max_shrinks base.Explore.max_shrinks;
@@ -773,7 +774,9 @@ let explore_cmd =
     Arg.(
       value & opt string "all"
       & info [ "scenario" ] ~docv:"S"
-          ~doc:"Scenario: $(b,concurrent), $(b,dependent), $(b,fault), $(b,churn) or $(b,all).")
+          ~doc:
+            "Scenario: $(b,concurrent), $(b,dependent), $(b,fault), $(b,churn), \
+             $(b,chord) or $(b,all).")
   in
   let opt_int names doc =
     Arg.(value & opt (some int) None & info names ~docv:"N" ~doc)
@@ -792,6 +795,15 @@ let explore_cmd =
             "Inject a test-only protocol bug into every node: \
              $(b,drop-queued-join-waits) or $(b,forget-negative-forward). The hunt is \
              then expected to find (and exit 1 on) its violations.")
+  in
+  let chord_naive =
+    Arg.(
+      value & flag
+      & info [ "chord-naive" ]
+          ~doc:
+            "Run $(b,chord) episodes with the classic incorrect stabilize (no liveness \
+             checks, single successor pointer). The hunt is then expected to find (and \
+             exit 1 on) ring violations that the corrected protocol does not exhibit.")
   in
   let no_midflight =
     Arg.(value & flag & info [ "no-midflight" ] ~doc:"Disable the mid-flight monitors.")
@@ -831,7 +843,97 @@ let explore_cmd =
       $ opt_int [ "m" ] "Number of joining nodes."
       $ opt_int [ "b" ] "Digit base."
       $ opt_int [ "d" ] "Digits per ID."
-      $ jobs_arg $ smoke $ inject_fault $ no_midflight $ out $ max_shrinks $ replay)
+      $ jobs_arg $ smoke $ inject_fault $ chord_naive $ no_midflight $ out $ max_shrinks
+      $ replay)
+
+(* ---- arena ---- *)
+
+let arena_cmd =
+  let module Arena = Ntcu_harness.Arena in
+  let run seed n m leavers lookups b d jobs smoke naive arms_s out =
+    match
+      let base = if smoke then Arena.smoke else Arena.default in
+      let pick opt dflt = Option.value opt ~default:dflt in
+      let arms =
+        match arms_s with
+        | None -> base.Arena.arms @ (if naive then [ Arena.Chord_naive ] else [])
+        | Some s ->
+          List.map
+            (fun name ->
+              match Arena.arm_of_name name with
+              | Some a -> a
+              | None -> failwith (Printf.sprintf "unknown arm %S" name))
+            (String.split_on_char ',' s)
+      in
+      ({
+          Arena.b = pick b base.Arena.b;
+          d = pick d base.Arena.d;
+          n = pick n base.Arena.n;
+          m = pick m base.Arena.m;
+          leavers = pick leavers base.Arena.leavers;
+          lookups = pick lookups base.Arena.lookups;
+          seed;
+          maintain_every = base.Arena.maintain_every;
+          rounds = base.Arena.rounds;
+          arms;
+        }
+        : Arena.config)
+    with
+    | exception Failure e ->
+      Format.eprintf "%s@." e;
+      2
+    | cfg ->
+      let report = Arena.run ~jobs:(Ntcu_std.Parallel.resolve_jobs jobs) cfg in
+      Format.printf "%a" Arena.pp_report report;
+      Arena.write ~path:out report;
+      Format.printf "arena report written to %s@." out;
+      if Arena.ok report then 0 else 1
+  in
+  let opt_int names doc =
+    Arg.(value & opt (some int) None & info names ~docv:"N" ~doc)
+  in
+  let smoke =
+    Arg.(value & flag & info [ "smoke" ] ~doc:"CI-sized run: small population and workload.")
+  in
+  let naive =
+    Arg.(
+      value & flag
+      & info [ "naive" ]
+          ~doc:
+            "Also run the classic incorrect Chord stabilize as an extra arm; its \
+             invariant violations (if any) fail the run.")
+  in
+  let arms =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "arms" ] ~docv:"A,B,.."
+          ~doc:
+            "Comma-separated arms to run ($(b,paper), $(b,chord), $(b,chord-naive), \
+             $(b,baseline)); overrides the default set and $(b,--naive).")
+  in
+  let out =
+    Arg.(
+      value & opt string "BENCH_arena.json"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the arena artifact to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "arena"
+       ~doc:
+         "Run the protocol arena: the paper protocol and corrected Chord \
+          head-to-head on identical seeded topologies, join/leave schedules and lookup \
+          workloads (add the multicast baseline or naive Chord with $(b,--arms) / \
+          $(b,--naive)), with a paired report of traffic, consistency windows, lookup \
+          success and stretch. Exits non-zero if any arm violates its own invariants.")
+    Term.(
+      const run $ seed_arg
+      $ opt_int [ "n" ] "Initial members."
+      $ opt_int [ "m" ] "Joiners."
+      $ opt_int [ "leavers" ] "Graceful departures."
+      $ opt_int [ "lookups" ] "Lookup pairs."
+      $ opt_int [ "b" ] "Digit base."
+      $ opt_int [ "d" ] "Digits per ID."
+      $ jobs_arg $ smoke $ naive $ arms $ out)
 
 let main =
   Cmd.group
@@ -853,6 +955,7 @@ let main =
       serve_cmd;
       scale_cmd;
       explore_cmd;
+      arena_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

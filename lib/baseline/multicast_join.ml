@@ -246,6 +246,15 @@ let check_consistent t = Ntcu_table.Check.violations (tables t)
 
 let all_done t = List.for_all (fun n -> n.seed || n.completed) (all_nodes t)
 
+let table t id = Option.map (fun n -> n.table) (Id.Tbl.find_opt t.nodes id)
+
+let members t =
+  List.filter_map
+    (fun n -> if n.seed || n.completed then Some n.id else None)
+    (all_nodes t)
+
+let engine t = t.engine
+
 let message_counts t = t.counts
 
 let peak_pending_at_existing t =

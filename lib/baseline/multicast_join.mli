@@ -40,6 +40,16 @@ val check_consistent : t -> Ntcu_table.Check.violation list
 val all_done : t -> bool
 (** Every joiner has completed (received its join-done signal). *)
 
+val table : t -> Ntcu_id.Id.t -> Ntcu_table.Table.t option
+(** The neighbor table of one node, for state-walk routing over the final
+    network ([None] for unknown ids). *)
+
+val members : t -> Ntcu_id.Id.t list
+(** Seeds plus completed joiners, in registration order — the baseline's
+    notion of in-system membership (it has no failure model). *)
+
+val engine : t -> Ntcu_sim.Engine.t
+
 val message_counts : t -> message_counts
 
 val peak_pending_at_existing : t -> int

@@ -8,20 +8,23 @@ module Network = Ntcu_core.Network
 module Node = Ntcu_core.Node
 module Workload = Ntcu_harness.Workload
 module Churn = Ntcu_churn.Churn
+module Chord = Ntcu_chord.Chord
 
-type scenario = Concurrent | Dependent | Fault | Churn
+type scenario = Concurrent | Dependent | Fault | Churn | Chord
 
 let scenario_name = function
   | Concurrent -> "concurrent"
   | Dependent -> "dependent"
   | Fault -> "fault"
   | Churn -> "churn"
+  | Chord -> "chord"
 
 let scenario_of_name = function
   | "concurrent" -> Some Concurrent
   | "dependent" -> Some Dependent
   | "fault" -> Some Fault
   | "churn" -> Some Churn
+  | "chord" -> Some Chord
   | _ -> None
 
 type config = {
@@ -34,6 +37,7 @@ type config = {
   sched_seed : int;
   scheduler : Scheduler.kind;
   fault : Node.fault option;
+  chord_naive : bool;
   midflight : bool;
 }
 
@@ -47,12 +51,13 @@ let fault_of_name = function
   | _ -> None
 
 let pp_config ppf c =
-  Fmt.pf ppf "%s b=%d d=%d n=%d m=%d seed=%d sched=%s/%d%a" (scenario_name c.scenario)
+  Fmt.pf ppf "%s b=%d d=%d n=%d m=%d seed=%d sched=%s/%d%a%s" (scenario_name c.scenario)
     c.b c.d c.n c.m c.seed
     (Scheduler.kind_name c.scheduler)
     c.sched_seed
     (Fmt.option (fun ppf f -> Fmt.pf ppf " fault=%s" (fault_name f)))
     c.fault
+    (if c.chord_naive then " naive" else "")
 
 type outcome = {
   config : config;
@@ -150,7 +155,7 @@ let run_join config =
   let latency = Latency.uniform ~seed:(config.seed + 1) ~lo:1. ~hi:100. in
   let loss, reliability, repairable =
     match config.scenario with
-    | Concurrent | Dependent | Churn -> (None, None, false)
+    | Concurrent | Dependent | Churn | Chord -> (None, None, false)
     | Fault ->
       ( Some (loss_probability, config.seed + 3),
         Some
@@ -181,7 +186,7 @@ let run_join config =
     joiners;
   let crashed =
     match config.scenario with
-    | Concurrent | Dependent | Churn -> []
+    | Concurrent | Dependent | Churn | Chord -> []
     | Fault ->
       (* Victims come from the seeds no joiner uses as gateway: a dead
          gateway violates assumption (ii), which even the defended protocol
@@ -234,7 +239,77 @@ let run_join config =
     digest;
   }
 
+(* Constants of the Chord scenario. Each joiner's gateway is its
+   key-predecessor seed, so an unperturbed join lookup is exactly two frames
+   — request and direct answer — and completes no earlier than 2 x 25 ms.
+   The crash at 45 ms therefore kills every victim mid-join under the nop
+   schedule, harmlessly. Only an adversary that rushes a critical join frame
+   gets a victim into the ring — and out of it again — before the first
+   stabilization round at 500 ms, which is the schedule-dependent window
+   where naive Chord's missing liveness checks poison the ring permanently. *)
+let chord_latency_lo = 25.
+let chord_latency_hi = 60.
+let chord_crash_at = 45.
+
+let run_chord config =
+  let p = Params.make ~b:config.b ~d:config.d in
+  let rng = Rng.create config.seed in
+  let seeds = Workload.distinct_ids rng p ~n:config.n in
+  let joiners =
+    Workload.distinct_ids ~avoid:(Id.Set.of_list seeds) rng p ~n:config.m
+  in
+  let latency =
+    Latency.uniform ~seed:(config.seed + 1) ~lo:chord_latency_lo ~hi:chord_latency_hi
+  in
+  let ccfg = { (Chord.default_config p) with Chord.naive = config.chord_naive } in
+  let t = Chord.create ~latency ~record_trace:true ccfg in
+  let sched = Scheduler.make ~seed:config.sched_seed config.scheduler in
+  Chord.set_delay_hook t (Some (Scheduler.generic_hook sched));
+  Chord.seed_ring t seeds;
+  (* Key order coincides with [Id.compare] (Chord keys are the numeric value
+     of the digits), so the key-predecessor gateway is the largest seed below
+     the joiner, wrapping to the largest seed overall. *)
+  let gateways = Array.of_list (List.sort Id.compare seeds) in
+  let gateway_of id =
+    let below = ref None in
+    Array.iter (fun s -> if Id.compare s id < 0 then below := Some s) gateways;
+    match !below with Some s -> s | None -> gateways.(Array.length gateways - 1)
+  in
+  List.iter
+    (fun id -> Chord.start_join t ~at:0. ~id ~gateway:(gateway_of id) ())
+    joiners;
+  (* Victims are joiners: mid-join crashes are the naive protocol's blind
+     spot (gateways are seeds, so assumption (ii) stays intact). *)
+  let victims =
+    let candidates = Array.of_list joiners in
+    let crash_rng = Rng.create (config.seed + 5) in
+    Rng.shuffle crash_rng candidates;
+    let count = min (max 1 (config.m / 2)) (Array.length candidates) in
+    Array.to_list (Array.sub candidates 0 count)
+  in
+  Engine.schedule_at (Chord.engine t) ~time:chord_crash_at (fun () ->
+      List.iter (fun id -> Chord.crash t id) victims);
+  Chord.run t;
+  let violations =
+    List.map
+      (fun (v : Ntcu_protocol.Protocol.violation) ->
+        { Invariants.name = v.name; detail = v.detail })
+      (Chord.check t)
+  in
+  let digest =
+    match Chord.trace t with Some tr -> Trace.digest tr | None -> assert false
+  in
+  {
+    config;
+    violations;
+    interventions = Scheduler.recorded sched;
+    frames = Scheduler.frames_seen sched;
+    events = Chord.messages_delivered t;
+    digest;
+  }
+
 let run config =
   match config.scenario with
   | Churn -> run_churn config
+  | Chord -> run_chord config
   | Concurrent | Dependent | Fault -> run_join config

@@ -23,6 +23,15 @@ type scenario =
           is ignored; the quiescent checks assert the defended claims only
           (liveness, reverse bookkeeping, transport accounting), since
           Definition 3.8 consistency is a measurement under crash churn. *)
+  | Chord
+      (** [m] joins into an [n]-member Chord ring ({!Ntcu_chord.Chord}), each
+          through its key-predecessor seed (a two-frame join lookup), with
+          half the joiners crashing at 45 ms — before any unperturbed join
+          can complete (latency floor 25 ms per frame). Only a schedule that
+          rushes critical join frames puts a victim into the ring before it
+          dies; [chord_naive] then exhibits the classic stabilize bugs
+          (ring-specific monitors from {!Ntcu_chord.Chord.check}), while
+          corrected stabilization repairs the same schedule. *)
 
 val scenario_name : scenario -> string
 val scenario_of_name : string -> scenario option
@@ -41,7 +50,12 @@ type config = {
   scheduler : Scheduler.kind;
   fault : Ntcu_core.Node.fault option;
       (** Test-only injected protocol bug ({!Ntcu_core.Node.fault}). *)
-  midflight : bool;  (** Also run the mid-flight monitors during the run. *)
+  chord_naive : bool;
+      (** {!Chord} scenario only: run the classic incorrect stabilize instead
+          of the corrected protocol. Ignored by the other scenarios. *)
+  midflight : bool;
+      (** Also run the mid-flight monitors during the run (join scenarios
+          and {!Churn}; the {!Chord} monitors are quiescent-only). *)
 }
 
 val pp_config : config Fmt.t

@@ -11,6 +11,7 @@ type settings = {
   b : int;
   d : int;
   fault : Ntcu_core.Node.fault option;
+  chord_naive : bool;
   midflight : bool;
   jobs : int;
   max_shrinks : int;
@@ -20,7 +21,14 @@ let default_settings =
   {
     base_seed = 1;
     budget = 8;
-    scenarios = [ Episode.Concurrent; Episode.Dependent; Episode.Fault; Episode.Churn ];
+    scenarios =
+      [
+        Episode.Concurrent;
+        Episode.Dependent;
+        Episode.Fault;
+        Episode.Churn;
+        Episode.Chord;
+      ];
     schedulers =
       [
         Scheduler.Random_delay { scale = 16. };
@@ -32,6 +40,7 @@ let default_settings =
     b = 4;
     d = 6;
     fault = None;
+    chord_naive = false;
     midflight = true;
     jobs = 1;
     max_shrinks = 3;
@@ -41,7 +50,7 @@ let smoke_settings =
   {
     default_settings with
     budget = 2;
-    scenarios = [ Episode.Concurrent; Episode.Dependent ];
+    scenarios = [ Episode.Concurrent; Episode.Dependent; Episode.Chord ];
     n = 12;
     m = 6;
   }
@@ -80,6 +89,7 @@ let configs settings =
                 sched_seed = seed + 13;
                 scheduler;
                 fault = settings.fault;
+                chord_naive = settings.chord_naive;
                 midflight = settings.midflight;
               }))
         settings.schedulers)
@@ -194,6 +204,7 @@ let report_json r =
               match s.fault with
               | None -> Json.Null
               | Some f -> Json.String (Episode.fault_name f) );
+            ("chord_naive", Json.Bool s.chord_naive);
             ("midflight", Json.Bool s.midflight);
           ] );
       ("episodes", Json.Int r.episodes);

@@ -18,6 +18,9 @@ type settings = {
   b : int;
   d : int;
   fault : Ntcu_core.Node.fault option;  (** Injected test-only protocol bug. *)
+  chord_naive : bool;
+      (** Run {!Episode.Chord} episodes with the classic incorrect stabilize
+          (the differential bug hunt) instead of corrected stabilization. *)
   midflight : bool;
   jobs : int;
   max_shrinks : int;
@@ -26,13 +29,13 @@ type settings = {
 }
 
 val default_settings : settings
-(** 8 episodes per pair, all four scenarios, all three adversarial
-    schedulers, n = 24, m = 10, b = 4, d = 6, no fault, mid-flight on,
-    serial, at most 3 shrinks. *)
+(** 8 episodes per pair, all five scenarios, all three adversarial
+    schedulers, n = 24, m = 10, b = 4, d = 6, no fault, correct Chord,
+    mid-flight on, serial, at most 3 shrinks. *)
 
 val smoke_settings : settings
-(** A CI-sized subset: 2 episodes per pair, [Concurrent] and [Dependent]
-    only, n = 12, m = 6. *)
+(** A CI-sized subset: 2 episodes per pair, [Concurrent], [Dependent] and
+    [Chord] only, n = 12, m = 6. *)
 
 type found = {
   outcome : Episode.outcome;  (** The original violating episode. *)

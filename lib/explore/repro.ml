@@ -28,6 +28,7 @@ let to_string t =
   (match c.fault with
   | Some f -> line "fault %s" (Episode.fault_name f)
   | None -> ());
+  if c.chord_naive then line "chord_naive true";
   line "found_by %s" t.found_by;
   line "violation %s" t.violation.Invariants.name;
   (* [String.escaped] keeps the line single-line and 7-bit clean. *)
@@ -90,6 +91,14 @@ let of_string s =
         | Some f -> Ok (Some f)
         | None -> Error (Printf.sprintf "repro: unknown fault %S" name))
     in
+    let* chord_naive =
+      match field "chord_naive" with
+      | Error _ -> Ok false
+      | Ok v -> (
+        match bool_of_string_opt v with
+        | Some b -> Ok b
+        | None -> Error (Printf.sprintf "repro: bad chord_naive %S" v))
+    in
     let* found_by = field "found_by" in
     let* name = field "violation" in
     let* detail_escaped = field "detail" in
@@ -129,6 +138,7 @@ let of_string s =
             sched_seed;
             scheduler = Scheduler.Fixed interventions;
             fault;
+            chord_naive;
             midflight;
           };
         found_by;

@@ -40,7 +40,7 @@ let make ~seed kind =
    kind), so the stream consumed from [rng] is a function of the frame
    sequence alone: a shared prefix of two runs always sees identical
    factors, even if the runs diverge later. *)
-let factor_of t ~wire ~seq =
+let factor_of t ~critical ~seq =
   match t.kind with
   | Nop -> 1.0
   | Fixed _ -> (
@@ -56,23 +56,26 @@ let factor_of t ~wire ~seq =
   | Targeted { probability; stretch } ->
     let u = Rng.float t.rng 1.0 in
     let coin = Rng.bool t.rng in
-    let critical =
-      match wire with
-      | Network.Protocol m -> Message.ordering_critical m
-      | Network.Ack -> false
-    in
     if (not critical) || u >= probability then 1.0
     else if coin then stretch
     else 1. /. stretch
 
-let hook t ~wire ~src:_ ~dst:_ ~seq delay =
+let generic_hook t ~critical ~src:_ ~dst:_ ~seq delay =
   t.frames <- t.frames + 1;
-  let factor = factor_of t ~wire ~seq in
+  let factor = factor_of t ~critical ~seq in
   if factor = 1.0 then delay
   else begin
     t.recorded <- { seq; factor } :: t.recorded;
     delay *. factor
   end
+
+let hook t ~wire ~src ~dst ~seq delay =
+  let critical =
+    match wire with
+    | Network.Protocol m -> Message.ordering_critical m
+    | Network.Ack -> false
+  in
+  generic_hook t ~critical ~src ~dst ~seq delay
 
 let recorded t = List.rev t.recorded
 

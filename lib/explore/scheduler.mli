@@ -54,6 +54,20 @@ val hook :
 (** The delay-rewriting function to install with
     [Network.set_delay_hook net (Some (Scheduler.hook t))]. *)
 
+val generic_hook :
+  t ->
+  critical:bool ->
+  src:Ntcu_id.Id.t ->
+  dst:Ntcu_id.Id.t ->
+  seq:int ->
+  float ->
+  float
+(** Protocol-agnostic form of {!hook} for simulations that classify their own
+    ordering-critical frames (e.g. {!Ntcu_chord.Chord.set_delay_hook} /
+    {!Ntcu_protocol.Protocol.delay_hook}); {!hook} is this with [critical]
+    derived from the wire message. Both share the scheduler's frame counter
+    and RNG stream. *)
+
 val recorded : t -> intervention list
 (** Every intervention applied so far (factor <> 1), in [seq] order. Running
     the same episode again under [Fixed (recorded t)] reproduces the

@@ -289,6 +289,17 @@ let fault_injection ?latency ?size_mode ?(record_trace = false) ?(reliable = tru
     repair = Option.map Ntcu_extensions.Online_repair.report repair;
   }
 
+(* The canonical residual-hole run. Seed 196 at these sizes is the smallest
+   known workload where crash-over-join repair converges live and quiescent
+   yet leaves exactly one Def-3.8 hole (no live node carries the needed
+   suffix), which is why the fault/churn exit status gates on Best_effort
+   rather than Strict. Tests, docs and the CLI comment all reference this one
+   fixture instead of restating the magic numbers. *)
+let residual_hole () =
+  fault_injection ~loss:0.02 ~crash_fraction:0.05
+    (Ntcu_id.Params.make ~b:4 ~d:6)
+    ~seed:196 ~n:24 ~m:10 ()
+
 type baseline_result = {
   base_consistent : bool;
   base_violations : int;

@@ -172,6 +172,14 @@ val fault_injection :
     attaches {!Ntcu_extensions.Online_repair}; with [reliable:false] the run
     reproduces the undefended wedge. Deterministic in [seed]. *)
 
+val residual_hole : unit -> fault_run
+(** The canonical residual-hole fixture:
+    [fault_injection ~loss:0.02 ~crash_fraction:0.05 (b=4, d=6) ~seed:196
+    ~n:24 ~m:10] — converges live and quiescent with exactly one Def-3.8
+    violation, so {!ok} rejects it under [Strict] and accepts it under
+    [Best_effort]. The regression fixture behind the best-effort exit-status
+    contract of [ntcu fault] and the churn engine. *)
+
 (** {1 Baseline comparison} *)
 
 type baseline_result = {

@@ -1,0 +1,8 @@
+(** The multicast-join baseline behind the {!Protocol.S} interface.
+
+    Join-only ([supports_leave = false]): the baseline has no departure or
+    repair story, which is part of what the arena comparison surfaces. The
+    adapter routes lookups with the same suffix-routing walk as the paper
+    protocol, over the baseline's final tables. *)
+
+include Protocol.S

@@ -1,0 +1,9 @@
+(** The paper's neighbor-table protocol behind the {!Protocol.S} interface.
+
+    A thin adapter over {!Ntcu_core.Network} (join protocol, consistency
+    checks, suffix routing) plus {!Ntcu_extensions.Leave_protocol} for
+    graceful departures. The protocol is reactive — joins and leaves drive
+    all traffic — so the [maintain_every]/[rounds] knobs of
+    {!Protocol.config} are ignored. *)
+
+include Protocol.S

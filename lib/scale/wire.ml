@@ -133,7 +133,10 @@ let malformed msg = raise (Codec.Malformed msg)
 
 let get_id c r =
   let v = Codec.get_raw_id r c.codec in
-  if not c.pow2 then ignore (Packed.of_int c.lay v : Packed.t);
+  if not c.pow2 then (
+    match Packed.of_int c.lay v with
+    | (_ : Packed.t) -> ()
+    | exception Invalid_argument _ -> malformed "identifier digit out of range");
   v
 
 let get_cells c r (buf : Intbuf.t) =

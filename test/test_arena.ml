@@ -1,0 +1,109 @@
+(* The protocol arena's guarantees: every production arm passes its own
+   invariants on the shared workload, the report is byte-identical for any
+   [jobs] value, an arm's numbers do not move when the opposing arms change
+   (seed-stream isolation), and the naive-Chord arm is the designed
+   differential — it alone fails under the same departures the others
+   survive. *)
+
+module Arena = Ntcu_harness.Arena
+module Json = Ntcu_harness.Report.Json
+
+let check = Alcotest.check
+
+(* At smoke scale the multicast baseline survives the (mildly) staggered
+   joins, so it can join the production arms in the pass assertions; at
+   default scale its concurrency races show, which is why it is not a
+   default arm. *)
+let cfg =
+  {
+    Arena.smoke with
+    Arena.seed = 1;
+    arms = [ Arena.Paper; Arena.Chord; Arena.Baseline ];
+  }
+
+let json_string r = Json.to_string (Arena.to_json r)
+
+let arm_result report arm =
+  match
+    List.find_opt (fun (r : Arena.arm_result) -> r.Arena.arm = arm) report.Arena.results
+  with
+  | Some r -> r
+  | None -> Alcotest.failf "arm %s missing from report" (Arena.arm_name arm)
+
+let all_arms_pass () =
+  let report = Arena.run ~jobs:1 cfg in
+  check Alcotest.bool "report ok" true (Arena.ok report);
+  check Alcotest.int "one result per arm"
+    (List.length cfg.Arena.arms)
+    (List.length report.Arena.results);
+  let paper = arm_result report Arena.Paper in
+  let chord = arm_result report Arena.Chord in
+  let baseline = arm_result report Arena.Baseline in
+  (* Leave-capable arms end without the leavers; the join-only baseline
+     keeps them. *)
+  let full = cfg.Arena.n + cfg.Arena.m in
+  check Alcotest.int "paper members" (full - cfg.Arena.leavers) paper.Arena.members;
+  check Alcotest.int "chord members" (full - cfg.Arena.leavers) chord.Arena.members;
+  check Alcotest.int "baseline members" full baseline.Arena.members;
+  check Alcotest.int "paper leaves applied" cfg.Arena.leavers paper.Arena.leaves_applied;
+  check Alcotest.int "baseline leaves applied" 0 baseline.Arena.leaves_applied;
+  List.iter
+    (fun (r : Arena.arm_result) ->
+      check Alcotest.bool
+        (Arena.arm_name r.Arena.arm ^ " lookups all ok")
+        true
+        (r.Arena.lookups_attempted > 0
+        && r.Arena.lookups_ok = r.Arena.lookups_attempted);
+      check Alcotest.bool
+        (Arena.arm_name r.Arena.arm ^ " stretch sane")
+        true
+        (r.Arena.mean_stretch >= 1.0))
+    report.Arena.results
+
+let jobs_deterministic () =
+  let naive_cfg = { cfg with Arena.arms = cfg.Arena.arms @ [ Arena.Chord_naive ] } in
+  let serial = Arena.run ~jobs:1 naive_cfg in
+  let fanned = Arena.run ~jobs:4 naive_cfg in
+  check Alcotest.string "byte-identical JSON across jobs" (json_string serial)
+    (json_string fanned)
+
+(* An arm is a closed simulation: its result cannot depend on which opponents
+   it is paired against. *)
+let arm_isolation () =
+  let solo = Arena.run ~jobs:1 { cfg with Arena.arms = [ Arena.Chord ] } in
+  let full = Arena.run ~jobs:1 cfg in
+  let strip report =
+    Json.to_string
+      (Arena.to_json { report with Arena.config = { cfg with Arena.arms = [] } })
+  in
+  let chord_only (report : Arena.report) =
+    { report with Arena.results = [ arm_result report Arena.Chord ] }
+  in
+  check Alcotest.string "chord arm unchanged when opponents swap"
+    (strip (chord_only solo))
+    (strip (chord_only full))
+
+(* The designed differential: under the same departures, naive Chord — no
+   successor redundancy, no liveness checks, leaves as silent death — breaks
+   its own ring invariants while the corrected arms stay clean. *)
+let naive_differential () =
+  let report =
+    Arena.run ~jobs:1
+      { cfg with Arena.arms = [ Arena.Chord; Arena.Chord_naive ] }
+  in
+  let chord = arm_result report Arena.Chord in
+  let naive = arm_result report Arena.Chord_naive in
+  check Alcotest.bool "correct chord passes" true (Arena.arm_ok chord);
+  check Alcotest.bool "naive chord violates" false (Arena.arm_ok naive);
+  check Alcotest.bool "report not ok" false (Arena.ok report)
+
+let suites =
+  [
+    ( "arena",
+      [
+        Alcotest.test_case "all arms pass" `Quick all_arms_pass;
+        Alcotest.test_case "jobs-count deterministic" `Quick jobs_deterministic;
+        Alcotest.test_case "arm isolation" `Quick arm_isolation;
+        Alcotest.test_case "naive differential" `Quick naive_differential;
+      ] );
+  ]

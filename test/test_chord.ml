@@ -1,0 +1,232 @@
+(* The Chord arm of the protocol arena: corrected stabilization (Zave's
+   protocol) restores the ring invariants under join/leave interleavings and
+   answers lookups correctly; the naive variant's classic stabilize bug is
+   schedule-dependent — invisible to the unperturbed scheduler, caught by the
+   targeted adversary through the explore pipeline, shrunk and replayed —
+   mirroring the injected-fault pattern of test_explore. *)
+
+module Id = Ntcu_id.Id
+module Params = Ntcu_id.Params
+module Rng = Ntcu_std.Rng
+module Latency = Ntcu_sim.Latency
+module Workload = Ntcu_harness.Workload
+module Chord = Ntcu_chord.Chord
+module Scheduler = Ntcu_explore.Scheduler
+module Episode = Ntcu_explore.Episode
+module Shrink = Ntcu_explore.Shrink
+module Repro = Ntcu_explore.Repro
+
+let check = Alcotest.check
+
+let p = Params.make ~b:4 ~d:6
+
+let pp_violations vs =
+  String.concat ", "
+    (List.map (fun (v : Ntcu_protocol.Protocol.violation) -> v.name) vs)
+
+let assert_clean what t =
+  match Chord.check t with
+  | [] -> ()
+  | vs -> Alcotest.failf "%s: violations [%s]" what (pp_violations vs)
+
+let make_net ~seed ~n ~m =
+  let rng = Rng.create seed in
+  let seeds = Workload.distinct_ids rng p ~n in
+  let joiners = Workload.distinct_ids ~avoid:(Id.Set.of_list seeds) rng p ~n:m in
+  let latency = Latency.uniform ~seed:(seed + 1) ~lo:5. ~hi:40. in
+  let t = Chord.create ~latency (Chord.default_config p) in
+  Chord.seed_ring t seeds;
+  (t, seeds, joiners)
+
+(* A freshly seeded ring already satisfies every invariant and keeps them
+   through its bounded stabilization rounds. *)
+let seeded_ring_stable () =
+  let t, seeds, _ = make_net ~seed:3 ~n:16 ~m:0 in
+  Chord.run t;
+  assert_clean "seeded ring" t;
+  check Alcotest.bool "ring consistent" true (Chord.ring_consistent t);
+  check Alcotest.int "all seeds members" (List.length seeds)
+    (List.length (Chord.members t))
+
+(* Concurrent joins through arbitrary gateways converge: every joiner becomes
+   a member and stabilization rebuilds exact successor lists, predecessors
+   and the single ring cycle. *)
+let joins_converge () =
+  List.iter
+    (fun seed ->
+      let t, seeds, joiners = make_net ~seed ~n:12 ~m:6 in
+      let rng = Rng.create (seed + 9) in
+      let gws = Array.of_list seeds in
+      List.iter
+        (fun id -> Chord.start_join t ~at:0. ~id ~gateway:(Rng.pick rng gws) ())
+        joiners;
+      Chord.run t;
+      assert_clean (Printf.sprintf "joins seed=%d" seed) t;
+      check Alcotest.int "member count" (12 + 6) (List.length (Chord.members t)))
+    [ 1; 2; 3; 4; 5 ]
+
+(* Joins and graceful leaves interleaved mid-stabilization: the handoff plus
+   rectify restore the ring, and the leavers are gone. *)
+let join_leave_interleaving () =
+  List.iter
+    (fun seed ->
+      let t, seeds, joiners = make_net ~seed ~n:12 ~m:5 in
+      let rng = Rng.create (seed + 9) in
+      (* Gateways come from the first half of the seeds; leavers from the
+         second half, so no joiner's gateway departs mid-ask. *)
+      let gws = Array.of_list (List.filteri (fun i _ -> i < 6) seeds) in
+      let leavers = List.filteri (fun i _ -> i >= 9) seeds in
+      List.iteri
+        (fun i id ->
+          Chord.start_join t
+            ~at:(float_of_int (i * 120))
+            ~id ~gateway:(Rng.pick rng gws) ())
+        joiners;
+      List.iteri
+        (fun i id -> Chord.leave t ~at:(300. +. (float_of_int i *. 250.)) id)
+        leavers;
+      Chord.run t;
+      assert_clean (Printf.sprintf "join/leave seed=%d" seed) t;
+      check Alcotest.int "member count"
+        (12 + 5 - List.length leavers)
+        (List.length (Chord.members t));
+      List.iter
+        (fun id ->
+          check Alcotest.bool "leaver gone" false (Chord.is_member t id))
+        leavers)
+    [ 1; 2; 3 ]
+
+(* Greedy finger routing over the converged state reaches every member. *)
+let lookups_correct () =
+  let t, seeds, joiners = make_net ~seed:7 ~n:12 ~m:4 in
+  List.iter
+    (fun id -> Chord.start_join t ~at:0. ~id ~gateway:(List.hd seeds) ())
+    joiners;
+  Chord.run t;
+  assert_clean "pre-lookup" t;
+  let members = Chord.members t in
+  let targets = List.filteri (fun i _ -> i mod 3 = 0) members in
+  List.iter
+    (fun src ->
+      List.iter
+        (fun target ->
+          match Chord.lookup t ~src ~target with
+          | Some path ->
+            check Alcotest.bool "path ends at target" true
+              (Id.equal (List.nth path (List.length path - 1)) target)
+          | None -> Alcotest.failf "lookup failed")
+        targets)
+    (List.filteri (fun i _ -> i mod 4 = 0) members)
+
+(* Absent failures, even the naive protocol is correct — the bug needs a
+   crash window, not just concurrency. *)
+let naive_clean_without_failures () =
+  let rng = Rng.create 11 in
+  let seeds = Workload.distinct_ids rng p ~n:12 in
+  let joiners = Workload.distinct_ids ~avoid:(Id.Set.of_list seeds) rng p ~n:5 in
+  let t =
+    Chord.create
+      ~latency:(Latency.uniform ~seed:12 ~lo:5. ~hi:40.)
+      { (Chord.default_config p) with Chord.naive = true }
+  in
+  Chord.seed_ring t seeds;
+  List.iter
+    (fun id -> Chord.start_join t ~at:0. ~id ~gateway:(List.hd seeds) ())
+    joiners;
+  Chord.run t;
+  assert_clean "naive, no failures" t
+
+(* ---- The differential, through the explore pipeline ---- *)
+
+let chord_episode ~naive scheduler =
+  {
+    Episode.scenario = Episode.Chord;
+    b = 4;
+    d = 6;
+    n = 12;
+    m = 6;
+    seed = 1;
+    sched_seed = 14;
+    scheduler;
+    fault = None;
+    chord_naive = naive;
+    midflight = false;
+  }
+
+let targeted = Scheduler.Targeted { probability = 0.25; stretch = 32. }
+
+(* The schedule dependence itself: under the same seeds, the unperturbed
+   schedule never completes a join before the crash (all victims die
+   mid-join, harmlessly, in both modes), while the targeted adversary rushes
+   a victim into the ring — which only the naive protocol fails to survive. *)
+let naive_schedule_dependent () =
+  let nop_naive = Episode.run (chord_episode ~naive:true Scheduler.Nop) in
+  check Alcotest.int "nop misses the naive bug" 0
+    (List.length nop_naive.Episode.violations);
+  let hit = Episode.run (chord_episode ~naive:true targeted) in
+  check Alcotest.bool "targeted catches the naive bug" true
+    (hit.Episode.violations <> []);
+  let correct = Episode.run (chord_episode ~naive:false targeted) in
+  check (Alcotest.list Alcotest.string) "correct mode survives the same schedule"
+    []
+    (List.map
+       (fun (v : Ntcu_explore.Invariants.violation) -> v.Ntcu_explore.Invariants.name)
+       correct.Episode.violations)
+
+(* Found, the violation must shrink to a small intervention list, replay
+   bit-identically, and round-trip through the repro file format with the
+   naive flag intact. *)
+let naive_shrinks_and_replays () =
+  let config = chord_episode ~naive:true targeted in
+  let outcome = Episode.run config in
+  check Alcotest.bool "violations present" true (outcome.Episode.violations <> []);
+  (match Shrink.shrink_outcome outcome with
+  | None -> Alcotest.fail "shrink found nothing"
+  | Some (minimal, final, probes) ->
+    check Alcotest.bool "ddmin probed" true (probes > 0);
+    check Alcotest.bool "no larger than original" true
+      (List.length minimal <= List.length outcome.Episode.interventions);
+    check Alcotest.bool "minimal schedule still violates" true
+      (final.Episode.violations <> []);
+    let violation =
+      match final.Episode.violations with v :: _ -> v | [] -> assert false
+    in
+    let r =
+      {
+        Repro.config =
+          { final.Episode.config with Episode.scheduler = Scheduler.Fixed minimal };
+        found_by = Scheduler.kind_name config.Episode.scheduler;
+        violation;
+        digest = final.Episode.digest;
+      }
+    in
+    let s = Repro.to_string r in
+    (match Repro.of_string s with
+    | Error e -> Alcotest.failf "repro parse: %s" e
+    | Ok r' ->
+      check Alcotest.string "repro text round-trips" s (Repro.to_string r');
+      check Alcotest.bool "parsed repro keeps naive flag" true
+        r'.Repro.config.Episode.chord_naive;
+      let replay = Repro.replay r' in
+      check Alcotest.bool "replay reproduces" true replay.Repro.reproduced));
+  (* Same config, same outcome: the episode is a pure function. *)
+  let again = Episode.run config in
+  check Alcotest.string "rerun digest identical" outcome.Episode.digest
+    again.Episode.digest
+
+let suites =
+  [
+    ( "chord",
+      [
+        Alcotest.test_case "seeded ring stable" `Quick seeded_ring_stable;
+        Alcotest.test_case "joins converge" `Quick joins_converge;
+        Alcotest.test_case "join/leave interleaving" `Quick join_leave_interleaving;
+        Alcotest.test_case "lookups correct" `Quick lookups_correct;
+        Alcotest.test_case "naive clean without failures" `Quick
+          naive_clean_without_failures;
+        Alcotest.test_case "naive bug is schedule-dependent" `Quick
+          naive_schedule_dependent;
+        Alcotest.test_case "naive violation shrinks and replays" `Quick
+          naive_shrinks_and_replays;
+      ] );
+  ]

@@ -163,15 +163,12 @@ let sweep_halves_half_life () =
 
 (* ---- Best_effort claim gating (shared with `ntcu fault`) ---- *)
 
-(* The known residual-hole seed: converges live and quiescent with exactly
-   one Def-3.8 violation, so Strict rejects it and Best_effort accepts it.
-   This pins the CLI exit-status contract of `ntcu fault -n 24 -m 10 -b 4
-   -d 6 --seed 196 --crash 0.05`. *)
+(* The canonical residual-hole fixture (Experiment.residual_hole): converges
+   live and quiescent with exactly one Def-3.8 violation, so Strict rejects
+   it and Best_effort accepts it. This pins the CLI exit-status contract of
+   `ntcu fault`. *)
 let best_effort_gates_residual_hole () =
-  let p = Params.make ~b:4 ~d:6 in
-  let f =
-    Experiment.fault_injection ~loss:0.02 ~crash_fraction:0.05 p ~seed:196 ~n:24 ~m:10 ()
-  in
+  let f = Experiment.residual_hole () in
   check Alcotest.bool "live and quiescent" true
     (Experiment.ok ~claim:Experiment.Best_effort f.Experiment.run);
   check Alcotest.bool "not strictly consistent" false

@@ -66,6 +66,7 @@ let smoke_config scheduler =
     sched_seed = 14;
     scheduler;
     fault = None;
+    chord_naive = false;
     midflight = true;
   }
 
@@ -115,7 +116,8 @@ let json_string r = Ntcu_harness.Report.Json.to_string (Explore.report_json r)
 
 let clean_smoke_finds_nothing () =
   let report = Explore.run Explore.smoke_settings in
-  check Alcotest.int "episodes run" 12 report.Explore.episodes;
+  (* 3 smoke scenarios (concurrent, dependent, chord) x 3 schedulers x budget 2 *)
+  check Alcotest.int "episodes run" 18 report.Explore.episodes;
   check Alcotest.int "no violations on the real protocol" 0 report.Explore.failures
 
 let report_deterministic_across_jobs () =

@@ -1,0 +1,172 @@
+(* QCheck fuzzing of the sharded engine's cross-shard batch codec
+   (Ntcu_scale.Wire). Three properties, each over random frame sequences in
+   both a power-of-two and a non-power-of-two digit base:
+
+   - round-trip: encode then decode reproduces every frame, in order, in the
+     ring slot its delivery delta selects, with outbox headers rewritten to
+     ring headers;
+   - truncation: decoding any byte prefix either raises [Codec.Malformed] or
+     yields exactly the frames whose bytes survived (a cut can only succeed
+     on a frame boundary);
+   - bit-flip: decoding a corrupted batch either succeeds or raises
+     [Codec.Malformed] — never any other exception. The decoder is total. *)
+
+module Params = Ntcu_id.Params
+module Packed = Ntcu_id.Packed
+module Codec = Ntcu_core.Codec
+module Wire = Ntcu_scale.Wire
+module Intbuf = Ntcu_scale.Intbuf
+module G = QCheck.Gen
+
+let qtest ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let p_pow2 = Params.make ~b:4 ~d:6
+let p_odd = Params.make ~b:3 ~d:5 (* non-power-of-two: digit patterns can be invalid *)
+
+(* ---- generators: frames in outbox layout [nargs; kind; src; dst; delta; payload] ---- *)
+
+let frame_gen (p : Params.t) =
+  let lay = Packed.layout p in
+  let id =
+    G.map
+      (fun digits -> Packed.to_int (Packed.make lay (Array.of_list digits)))
+      (G.list_size (G.return p.d) (G.int_range 0 (p.b - 1)))
+  in
+  let cell =
+    (* cell = [pos*2 + sbit; occupant], pos < d*b *)
+    G.map2 (fun ps i -> [ ps; i ]) (G.int_range 0 ((p.d * p.b * 2) - 1)) id
+  in
+  let cells =
+    G.(
+      int_range 0 4 >>= fun n ->
+      map (fun cs -> n :: List.concat cs) (list_size (return n) cell))
+  in
+  let level = G.int_range 0 (p.d - 1) in
+  let digit = G.int_range 0 (p.b - 1) in
+  let bit = G.int_range 0 1 in
+  let payload =
+    G.oneof
+      [
+        G.map (fun l -> (Wire.kind_cp_rst, [ l ])) level;
+        G.map2 (fun l cs -> (Wire.kind_cp_rly, l :: cs)) level cells;
+        G.return (Wire.kind_join_wait, []);
+        G.map3 (fun s i cs -> (Wire.kind_join_wait_rly, s :: i :: cs)) bit id cells;
+        G.map2 (fun l cs -> (Wire.kind_join_noti, l :: cs)) level cells;
+        G.map2 (fun s cs -> (Wire.kind_join_noti_rly, s :: cs)) bit cells;
+        G.return (Wire.kind_in_sys_noti, []);
+        G.map3 (fun l dg s -> (Wire.kind_rv_ngh_noti, [ l; dg; s ])) level digit bit;
+        G.map2 (fun l dg -> (Wire.kind_rv_fix, [ l; dg ])) level digit;
+      ]
+  in
+  G.map2
+    (fun (kind, pl) (src, dst, delta) ->
+      (1 + List.length pl) :: kind :: src :: dst :: delta :: pl)
+    payload
+    (G.triple id id (G.int_range 1 Wire.max_latency))
+
+let frames_gen p = G.list_size (G.int_range 0 12) (frame_gen p)
+
+let print_frames fs = QCheck.Print.(list (list int)) fs
+let arb_frames p = QCheck.make ~print:print_frames (frames_gen p)
+
+(* ---- helpers ---- *)
+
+let encode p frames =
+  let c = Wire.ctx p in
+  let out = Intbuf.create () in
+  List.iter (fun f -> List.iter (Intbuf.push out) f) frames;
+  let w = Buffer.create 256 in
+  Wire.encode c out w;
+  Buffer.contents w
+
+(* The ring image of an outbox frame: drop [delta], rewrite the header to the
+   ring convention (nargs = |payload|). *)
+let ring_image = function
+  | nargs :: kind :: src :: dst :: _delta :: payload ->
+    assert (nargs = 1 + List.length payload);
+    List.length payload :: kind :: src :: dst :: payload
+  | _ -> assert false
+
+let delta_of = function _ :: _ :: _ :: _ :: delta :: _ -> delta | _ -> assert false
+
+let decode_rings p data =
+  let rings = Array.init (Wire.max_latency + 1) (fun _ -> Intbuf.create ()) in
+  let n = Wire.decode (Wire.ctx p) data ~select:(fun ~delta -> rings.(delta)) in
+  (n, rings)
+
+let ring_contents rings delta =
+  let buf = rings.(delta) in
+  List.init (Intbuf.length buf) (Intbuf.get buf)
+
+(* ---- properties ---- *)
+
+let roundtrip p frames =
+  let n, rings = decode_rings p (encode p frames) in
+  n = List.length frames
+  && List.for_all
+       (fun delta ->
+         let expected =
+           List.concat_map ring_image
+             (List.filter (fun f -> delta_of f = delta) frames)
+         in
+         ring_contents rings delta = expected)
+       [ 1; 2; 3 ]
+
+let truncation p (frames, cut) =
+  let data = encode p frames in
+  if String.length data = 0 then true
+  else begin
+    let len = cut mod String.length data in
+    let truncated = String.sub data 0 len in
+    match decode_rings p truncated with
+    | exception Codec.Malformed _ -> true (* a mid-frame cut must say so *)
+    | n, rings ->
+      (* A successful cut decoded an exact frame prefix. *)
+      n <= List.length frames
+      && List.for_all
+           (fun delta ->
+             let expected =
+               List.concat_map ring_image
+                 (List.filter (fun f -> delta_of f = delta)
+                    (List.filteri (fun i _ -> i < n) frames))
+             in
+             ring_contents rings delta = expected)
+           [ 1; 2; 3 ]
+  end
+
+let bitflip p (frames, at, bit) =
+  let data = encode p frames in
+  if String.length data = 0 then true
+  else begin
+    let i = at mod String.length data in
+    let corrupted = Bytes.of_string data in
+    Bytes.set corrupted i
+      (Char.chr (Char.code (Bytes.get corrupted i) lxor (1 lsl (bit mod 8))));
+    match decode_rings p (Bytes.to_string corrupted) with
+    | (_ : int * Intbuf.t array) -> true
+    | exception Codec.Malformed _ -> true
+    (* anything else — Invalid_argument, Not_found, out-of-bounds — is a
+       decoder totality bug and fails the property *)
+  end
+
+let with_cut p = QCheck.(pair (arb_frames p) (QCheck.make G.(int_range 0 10_000)))
+
+let with_flip p =
+  QCheck.(
+    triple (arb_frames p)
+      (QCheck.make G.(int_range 0 10_000))
+      (QCheck.make G.(int_range 0 7)))
+
+let suites =
+  [
+    ( "wire-fuzz",
+      [
+        qtest "round-trip (b=4)" (arb_frames p_pow2) (roundtrip p_pow2);
+        qtest "round-trip (b=3)" (arb_frames p_odd) (roundtrip p_odd);
+        qtest "truncation total (b=4)" (with_cut p_pow2) (truncation p_pow2);
+        qtest "truncation total (b=3)" (with_cut p_odd) (truncation p_odd);
+        qtest "bit-flip total (b=4)" (with_flip p_pow2) (bitflip p_pow2);
+        qtest "bit-flip total (b=3)" (with_flip p_odd) (bitflip p_odd);
+      ] );
+  ]
