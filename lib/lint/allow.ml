@@ -1,4 +1,4 @@
-type region = { codes : string list; start_ofs : int; end_ofs : int }
+type region = { codes : string list; line : int; start_ofs : int; end_ofs : int }
 
 let split_codes s =
   String.split_on_char ' ' s
@@ -26,13 +26,14 @@ let region_of_attr ~loc (attr : Parsetree.attribute) =
       Some
         {
           codes;
+          line = loc.Location.loc_start.Lexing.pos_lnum;
           start_ofs = loc.Location.loc_start.Lexing.pos_cnum;
           end_ofs = loc.Location.loc_end.Lexing.pos_cnum;
         }
     | None -> None
   else None
 
-let whole_file = { codes = []; start_ofs = 0; end_ofs = max_int }
+let whole_file = { codes = []; line = 1; start_ofs = 0; end_ofs = max_int }
 
 let collect (str : Typedtree.structure) =
   let acc = ref [] in

@@ -4,16 +4,25 @@
     the listed codes for every finding located inside that node. The payload
     is a string of whitespace- or comma-separated codes; an empty payload
     allows every code. A floating [[@@@ntcu.allow "..."]] structure item
-    suppresses for the whole file. *)
+    suppresses for the whole file.
+
+    Taint rules treat a suppressed source site as justified: a
+    [[@ntcu.allow "D002"]] on an unordered iteration also neutralizes it as a
+    T002 source, so one visible annotation covers both the local and the
+    interprocedural form of the hazard. *)
 
 type region = {
   codes : string list;  (** Allowed codes; [[]] means every code. *)
+  line : int;  (** 1-based start line of the annotated node (debt report). *)
   start_ofs : int;
   end_ofs : int;
 }
 
 val collect : Typedtree.structure -> region list
 (** All allow regions declared in the typed tree, in source order. *)
+
+val allows : region -> string -> bool
+(** Whether a region suppresses the given rule code. *)
 
 val filter : region list -> Finding.t list -> Finding.t list
 (** Drop findings whose offset falls inside a region allowing their code. *)

@@ -1,4 +1,12 @@
-type t = { source : string; in_lib : bool; clock_allowed : bool; emitter : bool }
+type t = {
+  source : string;
+  in_lib : bool;
+  in_test : bool;
+  clock_allowed : bool;
+  emitter : bool;
+  codec : bool;
+  dispatch : bool;
+}
 
 let starts_with prefix s =
   String.length s >= String.length prefix
@@ -14,10 +22,26 @@ let basename s =
    divergence behind identical rounded text. *)
 let emitter_basenames = [ "report.ml"; "trace.ml"; "codec.ml"; "repro.ml" ]
 
+(* Wire codec units: the P002 encoder/decoder constructor-coverage parity
+   check applies. [codec.ml] frames Message.t; [wire.ml] frames the sharded
+   engine's cross-shard batches via kind_* constants. *)
+let codec_basenames = [ "codec.ml"; "wire.ml" ]
+
+(* Directories holding protocol state machines: a wildcard arm in a match
+   over a wire message type there silently drops message kinds (P001). *)
+let dispatch_prefixes =
+  [ "lib/core/"; "lib/protocol/"; "lib/chord/"; "lib/baseline/"; "lib/extensions/";
+    "lib/scale/" ]
+
 let of_source source =
   {
     source;
     in_lib = starts_with "lib/" source;
-    clock_allowed = starts_with "lib/harness/" source || starts_with "bench/" source;
+    in_test = starts_with "test/" source;
+    clock_allowed =
+      starts_with "lib/harness/" source || starts_with "bench/" source
+      || starts_with "test/" source;
     emitter = List.mem (basename source) emitter_basenames;
+    codec = List.mem (basename source) codec_basenames;
+    dispatch = List.exists (fun p -> starts_with p source) dispatch_prefixes;
   }

@@ -1,15 +1,32 @@
-(** Driver: discover .cmt files under the dune build tree, run the rule
-    registry on each, and fold the results into a report.
+(** Two-phase driver over the dune-produced .cmt set.
+
+    Phase 1 (summary build): discover and load every .cmt under the target
+    dirs into {!unit_info} summaries — classification, typed tree, uid table
+    and [[@ntcu.allow]] regions. Phase 2 (rule evaluation): run the
+    intraprocedural registry ({!Rules.all}) per unit, build the
+    cross-module {!Callgraph.t} once, and evaluate the interprocedural
+    families ({!Proto}, {!Taint}, {!Escape}) over it.
 
     The engine reads the typed trees dune already produced ([bin_annot] is
     forced on project-wide), so linting never re-typechecks: [dune build
-    @lint] is build + a fast tree walk. *)
+    @lint] is build + a fast tree walk (phase 1) + one graph pass. *)
+
+type unit_info = {
+  u_cls : Classify.t;
+  u_name : string;  (** Compilation unit name, e.g. ["Ntcu_scale__Wire"]. *)
+  u_str : Typedtree.structure;
+  u_uid_to_loc : Location.t Shape.Uid.Tbl.t;
+  u_regions : Allow.region list;
+}
 
 type report = {
   fresh : Finding.t list;  (** Non-baselined findings — these fail the gate. *)
   baselined : Finding.t list;  (** Grandfathered by the baseline file. *)
   unused_baseline : Baseline.entry list;  (** Stale baseline lines. *)
   files_scanned : int;
+  allow_debt : (string * Allow.region list) list;
+      (** [[@ntcu.allow]] regions per source file, for the debt report. *)
+  baseline_total : int;
 }
 
 val build_root : string -> string
@@ -19,11 +36,21 @@ val build_root : string -> string
 
 val find_cmts : build_root:string -> dirs:string list -> string list
 (** All [.cmt] files under [dirs] (recursively, including dot-directories
-    like [.ntcu_core.objs], excluding [.formatted]), sorted. *)
+    like [.ntcu_core.objs], excluding [.formatted] and the deliberately-buggy
+    [lint_fixtures] tree), sorted. *)
+
+val load_cmt : ?classify:(string -> Classify.t) -> string -> unit_info option
+(** Phase-1 summary for one .cmt. Interfaces, packed modules, generated
+    [.ml-gen] wrappers, and unreadable files yield [None]. *)
+
+val analyze : unit_info list -> Finding.t list
+(** Phase 2: intraprocedural rules per unit plus the P/T/C families over the
+    shared call graph, allow-filtered (interprocedural findings against the
+    regions of the file they are located in), deduped, sorted. *)
 
 val lint_cmt : ?classify:(string -> Classify.t) -> string -> Finding.t list
-(** Findings for one .cmt (allow-filtered, sorted). Interfaces, packed
-    modules, generated [.ml-gen] wrappers, and unreadable files yield []. *)
+(** Intraprocedural findings for one .cmt in isolation (allow-filtered,
+    sorted) — the single-unit fast path used by tests. *)
 
 val run :
   ?classify:(string -> Classify.t) ->
@@ -36,10 +63,16 @@ val run :
     [["lib"; "bin"; "bench"]]. *)
 
 val pp_report : report Fmt.t
-(** Human-readable report (findings, baseline stats, verdict). *)
+(** Human-readable report (findings with traces, baseline stats, verdict). *)
 
 val report_to_json : report -> string
-(** Stable JSON encoding, findings sorted; schema ["ntcu-lint/1"]. *)
+(** Stable JSON encoding, findings sorted; schema ["ntcu-lint/2"] (findings
+    carry a ["trace"] array of [{file, line, col, note}] steps). *)
 
-val exit_code : report -> int
-(** 0 when [fresh] is empty, 1 otherwise. *)
+val suppressions_to_json : report -> string
+(** Suppression-debt report, schema ["ntcu-lint-suppressions/1"]: allow
+    regions per file and per code, baseline size, stale baseline entries. *)
+
+val exit_code : ?strict_baseline:bool -> report -> int
+(** 0 when [fresh] is empty; 1 otherwise; 2 when clean but
+    [strict_baseline] and stale baseline entries exist. *)

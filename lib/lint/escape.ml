@@ -1,0 +1,158 @@
+(* C-rules: domain escape (interprocedural D004).
+
+   Closures submitted to the [Ntcu_std.Parallel] pool run on worker domains.
+   D004 flags toplevel mutable state in libraries locally; this pass makes
+   the hazard interprocedural: starting from the argument expressions of
+   every [Parallel.map] application, it follows the call graph and reports
+
+   - C001: a reachable library def that creates toplevel mutable state
+     ([ref]/[Hashtbl.create]/[Buffer.create] outside any function body) —
+     the pool closure can mutate it from several domains at once;
+   - C002: a reachable toplevel def holding an owner-guarded handle
+     ([Engine.t], [Distances.t]) — those types carry an owner-domain guard
+     that a worker-domain call path bypasses or trips at runtime.
+
+   Roots are the call edges whose site falls inside a [Parallel.map]
+   argument span, i.e. exactly what the submitted closures can invoke. *)
+
+let ends_with ~suffix s =
+  let n = String.length suffix in
+  String.length s >= n && String.equal suffix (String.sub s (String.length s - n) n)
+
+let pool_entry name = ends_with ~suffix:"Parallel.map" name
+
+(* Owner-guarded handle types: created by one domain, asserted on use. *)
+let handle_suffixes = [ "Engine.t"; "Distances.t" ]
+
+let string_of_type ty =
+  match Format.asprintf "%a" Printtyp.type_expr ty with
+  | s -> s
+  | exception _ -> "<type>"
+
+(* Only a def *holding* a handle escapes; an accessor returning one
+   ([t -> Engine.t]) is flagged where its result is stored, not here. *)
+let handle_type ty =
+  match Types.get_desc ty with
+  | Tarrow _ | Tpoly _ -> false
+  | _ ->
+    let s = Callgraph.dotted (string_of_type ty) in
+    List.exists (fun suffix -> ends_with ~suffix s || String.equal suffix s) handle_suffixes
+
+(* Mutable-state creation outside any function body, mirroring D004's scan. *)
+let creates_mutable_toplevel (body : Typedtree.expression) =
+  let found = ref false in
+  let open Tast_iterator in
+  let expr sub (e : Typedtree.expression) =
+    match e.exp_desc with
+    | Texp_function _ -> ()
+    | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args)
+      when Rules.d004_creators (Path.name p) ->
+      found := true;
+      List.iter (fun (_, a) -> match a with Some a -> sub.expr sub a | None -> ()) args
+    | _ -> default_iterator.expr sub e
+  in
+  let it = { default_iterator with expr } in
+  it.expr it body;
+  !found
+
+type submission = { sub_loc : Location.t; sub_what : string; spans : (int * int) list }
+
+let submissions_in (body : Typedtree.expression) =
+  let acc = ref [] in
+  let open Tast_iterator in
+  let expr sub (e : Typedtree.expression) =
+    (match e.exp_desc with
+    | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args)
+      when pool_entry (Path.name p) ->
+      let spans =
+        List.filter_map
+          (fun (_, a) ->
+            match a with
+            | Some (a : Typedtree.expression) ->
+              Some
+                ( a.exp_loc.Location.loc_start.Lexing.pos_cnum,
+                  a.exp_loc.Location.loc_end.Lexing.pos_cnum )
+            | None -> None)
+          args
+      in
+      acc := { sub_loc = e.exp_loc; sub_what = Path.name p; spans } :: !acc
+    | _ -> ());
+    default_iterator.expr sub e
+  in
+  let it = { default_iterator with expr } in
+  it.expr it body;
+  List.rev !acc
+
+let check g =
+  List.concat_map
+    (fun (d : Callgraph.def) ->
+      List.concat_map
+        (fun sm ->
+          let in_span (site : Location.t) =
+            let ofs = site.loc_start.Lexing.pos_cnum in
+            List.exists (fun (a, b) -> ofs >= a && ofs <= b) sm.spans
+          in
+          let roots =
+            List.filter_map
+              (fun (c : Callgraph.call) ->
+                if in_span c.site then Callgraph.find g c.target else None)
+              (Callgraph.calls_of g d)
+          in
+          if List.is_empty roots then []
+          else begin
+            let reach = Callgraph.reachable g ~roots in
+            let flag code (r : Callgraph.def) detail =
+              let dest (d' : Callgraph.def) = String.equal d'.uid r.uid in
+              let hops =
+                let rec first = function
+                  | [] -> []
+                  | root :: rest -> (
+                    match Callgraph.trace g ~from:root ~dest with
+                    | Some (steps, _) -> steps
+                    | None -> first rest)
+                in
+                first roots
+              in
+              let trace =
+                Finding.step ~file:d.cls.Classify.source ~loc:sm.sub_loc
+                  (Printf.sprintf "closure submitted to %s here" sm.sub_what)
+                :: hops
+                @ [
+                    Finding.step ~file:r.cls.Classify.source ~loc:r.loc
+                      (Printf.sprintf "%s defined here" (Callgraph.full_name r));
+                  ]
+              in
+              Finding.make ~trace ~code ~file:d.cls.Classify.source ~loc:sm.sub_loc
+                detail
+            in
+            List.concat_map
+              (fun (r : Callgraph.def) ->
+                if not r.cls.Classify.in_lib then []
+                else begin
+                  let c001 =
+                    if creates_mutable_toplevel r.body then
+                      [
+                        flag "C001" r
+                          (Printf.sprintf
+                             "closure submitted to %s reaches toplevel mutable state %s; worker domains can mutate it concurrently — pass state explicitly or guard with the owner domain"
+                             sm.sub_what (Callgraph.full_name r));
+                      ]
+                    else []
+                  in
+                  let c002 =
+                    if handle_type r.body.exp_type then
+                      [
+                        flag "C002" r
+                          (Printf.sprintf
+                             "closure submitted to %s reaches owner-guarded handle %s : %s; only the owner domain may drive it"
+                             sm.sub_what (Callgraph.full_name r)
+                             (Callgraph.dotted (string_of_type r.body.exp_type)));
+                      ]
+                    else []
+                  in
+                  c001 @ c002
+                end)
+              reach
+          end)
+        (submissions_in d.body))
+    (Callgraph.defs g)

@@ -1,0 +1,18 @@
+(** C-rules: domain escape — the interprocedural upgrade of D004.
+
+    Rooted at the argument spans of every [Parallel.map] application, the
+    call graph is searched for library state a pool-worker closure can
+    touch:
+
+    - {b C001} reachable toplevel mutable state ([ref], [Hashtbl.create],
+      [Buffer.create] outside any function body) — concurrent mutation from
+      worker domains.
+    - {b C002} reachable owner-guarded handle ([Engine.t], [Distances.t]) —
+      worker-domain use bypasses (or trips) the owner-domain guard.
+
+    Findings are located at the submission site and trace through the
+    closure's call chain to the offending definition. Suppress with
+    [[@ntcu.allow "C001"]] on the submission when the sharing is provably
+    read-only. *)
+
+val check : Callgraph.t -> Finding.t list

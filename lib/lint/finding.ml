@@ -1,3 +1,5 @@
+type step = { file : string; line : int; col : int; note : string }
+
 type t = {
   code : string;
   file : string;
@@ -5,9 +7,19 @@ type t = {
   col : int;
   ofs : int;
   message : string;
+  trace : step list;
 }
 
-let make ~code ~file ~loc message =
+let step ~file ~loc note =
+  let p = loc.Location.loc_start in
+  {
+    file;
+    line = p.Lexing.pos_lnum;
+    col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    note;
+  }
+
+let make ?(trace = []) ~code ~file ~loc message =
   let p = loc.Location.loc_start in
   {
     code;
@@ -16,8 +28,12 @@ let make ~code ~file ~loc message =
     col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
     ofs = p.Lexing.pos_cnum;
     message;
+    trace;
   }
 
+(* Identity of a finding is its anchor and message; the trace is evidence,
+   not identity, so two routes to the same hazard collapse into one line and
+   baseline entries keyed on code/file/line survive trace changes. *)
 let compare a b =
   let c = String.compare a.file b.file in
   if c <> 0 then c
@@ -33,7 +49,11 @@ let compare a b =
 
 let equal a b = compare a b = 0
 
-let pp ppf t = Fmt.pf ppf "%s:%d:%d: %s %s" t.file t.line t.col t.code t.message
+let pp ppf t =
+  Fmt.pf ppf "%s:%d:%d: %s %s" t.file t.line t.col t.code t.message;
+  List.iter
+    (fun (s : step) -> Fmt.pf ppf "@.    via %s:%d:%d: %s" s.file s.line s.col s.note)
+    t.trace
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 2) in
@@ -51,6 +71,17 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+let step_to_json (s : step) =
+  Printf.sprintf {|{"file": "%s", "line": %d, "col": %d, "note": "%s"}|}
+    (json_escape s.file) s.line s.col (json_escape s.note)
+
 let to_json t =
-  Printf.sprintf {|{"code": "%s", "file": "%s", "line": %d, "col": %d, "message": "%s"}|}
-    (json_escape t.code) (json_escape t.file) t.line t.col (json_escape t.message)
+  let trace =
+    match t.trace with
+    | [] -> ""
+    | steps ->
+      Printf.sprintf {|, "trace": [%s]|} (String.concat ", " (List.map step_to_json steps))
+  in
+  Printf.sprintf
+    {|{"code": "%s", "file": "%s", "line": %d, "col": %d, "message": "%s"%s}|}
+    (json_escape t.code) (json_escape t.file) t.line t.col (json_escape t.message) trace

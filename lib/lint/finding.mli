@@ -1,30 +1,49 @@
-(** A single lint finding: a rule code anchored at a source location.
+(** A single lint finding: a rule code anchored at a source location, plus an
+    optional interprocedural trace (schema v2).
 
     Findings are value-comparable and totally ordered so that reports are
-    deterministic regardless of the order in which rules or files run. *)
+    deterministic regardless of the order in which rules or files run. The
+    trace is evidence, not identity: {!compare} ignores it, so baseline
+    entries keyed on [code file:line] survive trace changes. *)
+
+type step = {
+  file : string;
+  line : int;
+  col : int;
+  note : string;  (** What this hop shows, e.g. ["Report.pp_run calls Stats.dump"]. *)
+}
 
 type t = {
-  code : string;  (** Stable rule code, e.g. ["D001"]. *)
+  code : string;  (** Stable rule code, e.g. ["D001"] or ["T002"]. *)
   file : string;  (** Repo-relative source path, e.g. ["lib/core/node.ml"]. *)
   line : int;  (** 1-based line. *)
   col : int;  (** 0-based column of the offending expression. *)
   ofs : int;  (** Absolute character offset; used for [@ntcu.allow] scoping. *)
   message : string;
+  trace : step list;
+      (** Interprocedural evidence, source-to-sink or def-to-site, in hop
+          order. Empty for the intraprocedural D-rules. *)
 }
 
-val make : code:string -> file:string -> loc:Location.t -> string -> t
+val step : file:string -> loc:Location.t -> string -> step
+(** A trace step from a location's start position. *)
+
+val make : ?trace:step list -> code:string -> file:string -> loc:Location.t -> string -> t
 (** Build a finding from the location's start position. *)
 
 val compare : t -> t -> int
-(** Order by file, line, column, code, message. No polymorphic compare. *)
+(** Order by file, line, column, code, message. No polymorphic compare; the
+    trace does not participate. *)
 
 val equal : t -> t -> bool
 
 val pp : t Fmt.t
-(** Human form: [file:line:col: CODE message]. *)
+(** Human form: [file:line:col: CODE message], one indented [via] line per
+    trace step. *)
 
 val to_json : t -> string
-(** One finding as a JSON object (string fields escaped). *)
+(** One finding as a JSON object (string fields escaped); a non-empty trace
+    is emitted as a ["trace"] array of step objects. *)
 
 val json_escape : string -> string
 (** Escape a string for inclusion in a JSON string literal. *)

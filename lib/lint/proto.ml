@@ -1,0 +1,360 @@
+(* P-rules: protocol soundness over the call graph.
+
+   P001 — dispatch totality. A wildcard arm in a handler's match over a wire
+   message type silently drops every constructor it hides: the protocol
+   keeps running and the bug surfaces as a slow neighbor-table quality
+   degradation, not a crash. Scope: defs named [handle*]/[dispatch*]/[on_*]
+   in dispatch units ({!Classify.t.dispatch}), matches whose scrutinee type
+   is a message variant ([...Message.t] or a [msg] type).
+
+   P002 — codec parity, two forms, both scoped to codec units
+   ({!Classify.t.codec}):
+   (a) constructor parity: a message constructor matched by the encoder but
+   never built by the decoder (or vice versa) cannot round-trip;
+   (b) frame-kind parity: wire-format units dispatch on integer [kind_*]
+   constants rather than constructors — a kind referenced on the encode
+   side but unreachable from every [decode*] def means the decoder handles
+   such frames implicitly or not at all.
+
+   P003 — timer hygiene. A unit that arms cancellable timers
+   ([Engine.schedule_cancellable]) but has no reachable path to
+   [Engine.cancel] leaks its timers: they fire after the owner's teardown.
+
+   All findings carry traces into the call graph. *)
+
+let ends_with ~suffix s =
+  let n = String.length suffix in
+  String.length s >= n && String.equal suffix (String.sub s (String.length s - n) n)
+
+let starts_with ~prefix s =
+  let n = String.length prefix in
+  String.length s >= n && String.equal prefix (String.sub s 0 n)
+
+let string_of_type ty =
+  match Format.asprintf "%a" Printtyp.type_expr ty with
+  | s -> s
+  | exception _ -> "<type>"
+
+let iter_exprs body f =
+  let open Tast_iterator in
+  let expr sub e =
+    f e;
+    default_iterator.expr sub e
+  in
+  let it = { default_iterator with expr } in
+  it.expr it body
+
+(* ---- P001: wildcard dispatch arms --------------------------------------- *)
+
+let dispatch_def_name n =
+  starts_with ~prefix:"handle" n || starts_with ~prefix:"dispatch" n
+  || starts_with ~prefix:"on_" n
+
+let message_type ty =
+  let s = Callgraph.dotted (string_of_type ty) in
+  if
+    ends_with ~suffix:"Message.t" s
+    || ends_with ~suffix:".msg" s
+    || String.equal s "msg"
+  then Some s
+  else None
+
+type arm = Cstr of Types.constructor_description | Wild of Location.t | Other
+
+let rec arms_of : type k. k Typedtree.general_pattern -> arm list =
+ fun p ->
+  match p.pat_desc with
+  | Tpat_value v -> arms_of (v :> Typedtree.pattern)
+  | Tpat_or (a, b, _) -> arms_of a @ arms_of b
+  | Tpat_alias (p', _, _) -> arms_of p'
+  | Tpat_construct (_, cd, _, _) -> [ Cstr cd ]
+  | Tpat_any -> [ Wild p.pat_loc ]
+  | Tpat_var (_, _) -> [ Wild p.pat_loc ]
+  | _ -> [ Other ]
+
+let p001 g =
+  List.concat_map
+    (fun (d : Callgraph.def) ->
+      if not (d.cls.Classify.dispatch && dispatch_def_name d.name) then []
+      else begin
+        let acc = ref [] in
+        iter_exprs d.body (fun e ->
+            match e.Typedtree.exp_desc with
+            | Texp_match (scrut, cases, _) -> (
+              match message_type scrut.exp_type with
+              | None -> ()
+              | Some tyname ->
+                let arms =
+                  List.concat_map (fun c -> arms_of c.Typedtree.c_lhs) cases
+                in
+                let cstrs =
+                  List.filter_map (function Cstr cd -> Some cd | _ -> None) arms
+                in
+                let wilds =
+                  List.filter_map (function Wild l -> Some l | _ -> None) arms
+                in
+                (match (cstrs, wilds) with
+                | cd0 :: _, wloc :: _ ->
+                  let total = cd0.cstr_consts + cd0.cstr_nonconsts in
+                  let covered =
+                    List.sort_uniq String.compare
+                      (List.map (fun cd -> cd.Types.cstr_name) cstrs)
+                  in
+                  if List.length covered < total then
+                    let trace =
+                      [
+                        Finding.step ~file:d.cls.Classify.source ~loc:d.loc
+                          (Printf.sprintf "dispatch implemented by %s"
+                             (Callgraph.full_name d));
+                        Finding.step ~file:d.cls.Classify.source ~loc:scrut.exp_loc
+                          (Printf.sprintf "match over %s here" tyname);
+                      ]
+                    in
+                    acc :=
+                      Finding.make ~trace ~code:"P001" ~file:d.cls.Classify.source
+                        ~loc:wloc
+                        (Printf.sprintf
+                           "wildcard arm in %s covers %d of %d constructors of %s; each message kind needs an explicit dispatch arm (or [@ntcu.allow \"P001\"] with a reason)"
+                           d.qual (List.length covered) total tyname)
+                      :: !acc
+                | _ -> ()))
+            | _ -> ());
+        List.rev !acc
+      end)
+    (Callgraph.defs g)
+
+(* ---- P002: encoder/decoder parity --------------------------------------- *)
+
+type occurrence = { o_cd : Types.constructor_description; o_loc : Location.t; o_def : Callgraph.def }
+
+let message_cstr (cd : Types.constructor_description) =
+  match Types.get_desc cd.cstr_res with
+  | Tconstr (p, _, _) ->
+    let s = Callgraph.dotted (Path.name p) in
+    ends_with ~suffix:"Message.t" s || ends_with ~suffix:".msg" s || String.equal s "msg"
+  | _ -> false
+
+let constructor_occurrences (d : Callgraph.def) =
+  let pats = ref [] and exprs = ref [] in
+  let open Tast_iterator in
+  let record_pat : type k. k Typedtree.general_pattern -> unit =
+   fun p ->
+    match p.pat_desc with
+    | Tpat_construct (lid, cd, _, _) when message_cstr cd ->
+      pats := { o_cd = cd; o_loc = lid.loc; o_def = d } :: !pats
+    | _ -> ()
+  in
+  let pat sub p =
+    record_pat p;
+    default_iterator.pat sub p
+  in
+  let expr sub (e : Typedtree.expression) =
+    (match e.exp_desc with
+    | Texp_construct (lid, cd, _) when message_cstr cd ->
+      exprs := { o_cd = cd; o_loc = lid.loc; o_def = d } :: !exprs
+    | _ -> ());
+    default_iterator.expr sub e
+  in
+  let it = { default_iterator with pat; expr } in
+  it.expr it d.body;
+  (List.rev !pats, List.rev !exprs)
+
+let p002_constructors g =
+  let units =
+    List.sort_uniq String.compare
+      (List.filter_map
+         (fun (d : Callgraph.def) ->
+           if d.cls.Classify.codec then Some d.unit_name else None)
+         (Callgraph.defs g))
+  in
+  List.concat_map
+    (fun u ->
+      let defs = Callgraph.defs_in_unit g u in
+      let pats, exprs =
+        List.fold_left
+          (fun (ps, es) d ->
+            let p, e = constructor_occurrences d in
+            (ps @ p, es @ e))
+          ([], []) defs
+      in
+      if List.is_empty pats || List.is_empty exprs then []
+      else begin
+        let names occs =
+          List.sort_uniq String.compare (List.map (fun o -> o.o_cd.Types.cstr_name) occs)
+        in
+        let pat_names = names pats and expr_names = names exprs in
+        let report side_names other_names occs present_side absent_verb =
+          List.concat_map
+            (fun name ->
+              if List.exists (String.equal name) other_names then []
+              else
+                match
+                  List.find_opt (fun o -> String.equal o.o_cd.Types.cstr_name name) occs
+                with
+                | None -> []
+                | Some o ->
+                  let trace =
+                    [
+                      Finding.step ~file:o.o_def.cls.Classify.source ~loc:o.o_def.loc
+                        (Printf.sprintf "in %s" (Callgraph.full_name o.o_def));
+                      Finding.step ~file:o.o_def.cls.Classify.source ~loc:o.o_loc
+                        (Printf.sprintf "constructor %s %s here" name present_side);
+                    ]
+                  in
+                  [
+                    Finding.make ~trace ~code:"P002" ~file:o.o_def.cls.Classify.source
+                      ~loc:o.o_loc
+                      (Printf.sprintf
+                         "constructor %s is %s by the codec but never %s: it cannot round-trip"
+                         name present_side absent_verb);
+                  ])
+            side_names
+        in
+        report pat_names expr_names pats "matched (encoded)" "constructed by the decoder"
+        @ report expr_names pat_names exprs "constructed (decoded)" "matched by the encoder"
+      end)
+    units
+
+let p002_kinds g =
+  let units =
+    List.sort_uniq String.compare
+      (List.filter_map
+         (fun (d : Callgraph.def) ->
+           if d.cls.Classify.codec then Some d.unit_name else None)
+         (Callgraph.defs g))
+  in
+  List.concat_map
+    (fun u ->
+      let defs = Callgraph.defs_in_unit g u in
+      let is_int_const (d : Callgraph.def) =
+        match Types.get_desc d.body.Typedtree.exp_type with
+        | Tconstr (p, _, _) -> Path.same p Predef.path_int
+        | _ -> false
+      in
+      let kind_defs =
+        List.filter
+          (fun (d : Callgraph.def) ->
+            starts_with ~prefix:"kind_" d.name
+            && (not (ends_with ~suffix:"_count" d.name))
+            && is_int_const d)
+          defs
+      in
+      if List.is_empty kind_defs then []
+      else begin
+        let side prefix = List.filter (fun (d : Callgraph.def) -> starts_with ~prefix d.name) defs in
+        let enc = side "encode" and dec = side "decode" in
+        if List.is_empty enc || List.is_empty dec then []
+        else begin
+          let reach_uids roots =
+            List.fold_left
+              (fun s (d : Callgraph.def) -> d.uid :: s)
+              []
+              (Callgraph.reachable g ~roots)
+          in
+          let enc_reach = reach_uids enc and dec_reach = reach_uids dec in
+          let mem uid l = List.exists (String.equal uid) l in
+          let missing roots_present present_name absent_name present_reach absent_reach =
+            List.concat_map
+              (fun (k : Callgraph.def) ->
+                if mem k.uid present_reach && not (mem k.uid absent_reach) then begin
+                  let dest (d' : Callgraph.def) = String.equal d'.uid k.uid in
+                  let hops =
+                    let rec first = function
+                      | [] -> []
+                      | r :: rest -> (
+                        match Callgraph.trace g ~from:r ~dest with
+                        | Some (steps, _) -> steps
+                        | None -> first rest)
+                    in
+                    first roots_present
+                  in
+                  let trace =
+                    hops
+                    @ [
+                        Finding.step ~file:k.cls.Classify.source ~loc:k.loc
+                          (Printf.sprintf "frame kind %s defined here" k.name);
+                      ]
+                  in
+                  [
+                    Finding.make ~trace ~code:"P002" ~file:k.cls.Classify.source ~loc:k.loc
+                      (Printf.sprintf
+                         "frame kind %s is referenced by the %s but unreachable from every %s def: such frames are handled implicitly or not at all"
+                         k.name present_name absent_name);
+                  ]
+                end
+                else [])
+              kind_defs
+          in
+          missing enc "encoder" "decode*" enc_reach dec_reach
+          @ missing dec "decoder" "encode*" dec_reach enc_reach
+        end
+      end)
+    units
+
+(* ---- P003: timer arm without reachable cancel --------------------------- *)
+
+let arm_suffix = "Engine.schedule_cancellable"
+let cancel_suffix = "Engine.cancel"
+
+let refs_matching g (d : Callgraph.def) ~suffix =
+  let from_exts =
+    List.filter_map
+      (fun (e : Callgraph.ext) ->
+        if ends_with ~suffix (Callgraph.dotted e.ext_name) then Some e.ext_site else None)
+      (Callgraph.exts_of g d)
+  in
+  let from_calls =
+    List.filter_map
+      (fun (c : Callgraph.call) ->
+        match Callgraph.find g c.target with
+        | Some t when ends_with ~suffix (Callgraph.dotted (Callgraph.full_name t)) ->
+          Some c.site
+        | _ -> None)
+      (Callgraph.calls_of g d)
+  in
+  from_exts @ from_calls
+
+let p003 g =
+  let by_unit = Hashtbl.create 16 in
+  List.iter
+    (fun (d : Callgraph.def) ->
+      let arms = refs_matching g d ~suffix:arm_suffix in
+      if not (List.is_empty arms) then
+        Hashtbl.replace by_unit d.unit_name
+          ((d, arms)
+          :: (match Hashtbl.find_opt by_unit d.unit_name with Some l -> l | None -> [])))
+    (Callgraph.defs g);
+  (* key enumeration only; the unit list is sorted before use *)
+  let units = (Hashtbl.fold [@ntcu.allow "D002"]) (fun u _ acc -> u :: acc) by_unit [] in
+  List.concat_map
+    (fun u ->
+      let defs = Callgraph.defs_in_unit g u in
+      let reach = Callgraph.reachable g ~roots:defs in
+      let cancel_reachable =
+        List.exists
+          (fun d -> not (List.is_empty (refs_matching g d ~suffix:cancel_suffix)))
+          reach
+      in
+      if cancel_reachable then []
+      else
+        List.concat_map
+          (fun ((d : Callgraph.def), arms) ->
+            List.map
+              (fun site ->
+                let trace =
+                  [
+                    Finding.step ~file:d.cls.Classify.source ~loc:d.loc
+                      (Printf.sprintf "def %s arms a cancellable timer"
+                         (Callgraph.full_name d));
+                    Finding.step ~file:d.cls.Classify.source ~loc:site "armed here";
+                  ]
+                in
+                Finding.make ~trace ~code:"P003" ~file:d.cls.Classify.source ~loc:site
+                  (Printf.sprintf
+                     "timer armed via %s but no Engine.cancel is reachable from unit %s: leaked timers fire after their owner's teardown"
+                     arm_suffix (Callgraph.dotted u)))
+              arms)
+          (match Hashtbl.find_opt by_unit u with Some l -> l | None -> []))
+    (List.sort String.compare units)
+
+let check g = p001 g @ p002_constructors g @ p002_kinds g @ p003 g

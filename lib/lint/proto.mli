@@ -1,0 +1,19 @@
+(** P-rules: protocol soundness over the call graph.
+
+    - {b P001} a wildcard arm in a [handle*]/[dispatch*]/[on_*] def's match
+      over a message variant ([...Message.t] or [msg]) inside a dispatch
+      unit ({!Classify.t.dispatch}) that hides at least one constructor —
+      silently dropped message kinds degrade table quality without failing.
+    - {b P002} codec parity in codec units ({!Classify.t.codec}): a message
+      constructor matched by the encoder but never built by the decoder (or
+      vice versa), and — for integer-framed wire formats — a [kind_*]
+      constant reachable from [encode*] defs but from no [decode*] def (or
+      vice versa).
+    - {b P003} a unit that arms cancellable timers
+      ([Engine.schedule_cancellable]) with no reachable path to
+      [Engine.cancel] from any of its defs — leaked timers fire after their
+      owner's teardown.
+
+    Every finding carries a non-empty trace anchored in the call graph. *)
+
+val check : Callgraph.t -> Finding.t list

@@ -82,6 +82,11 @@ let head_is_option ty =
   | _ -> false
 
 let d001_check (cls : Classify.t) str =
+  (* Polymorphic equality on concrete variants is idiomatic in unit-test
+     assertions; the hazard D001 guards against — representation-dependent
+     comparison inside the protocol — does not apply there. *)
+  if cls.in_test then []
+  else begin
   let acc = ref [] in
   iter_exprs str (fun e ->
       match e.Typedtree.exp_desc with
@@ -108,6 +113,7 @@ let d001_check (cls : Classify.t) str =
         | _ -> ())
       | _ -> ());
   !acc
+  end
 
 (* ---- D002: unordered Hashtbl iteration ---------------------------------- *)
 
@@ -247,6 +253,18 @@ let d005_check (cls : Classify.t) str =
         | _ -> ());
     !acc
   end
+
+(* ---- shared site predicates (reused by the interprocedural rules) ------- *)
+
+let d005_site (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_ident (path, _, _) -> String.equal (path_name path) "Stdlib.string_of_float"
+  | Texp_construct (_, cd, _) ->
+    List.exists (String.equal cd.cstr_name) d005_float_convs
+    && (match Types.get_desc cd.cstr_res with
+       | Tconstr (p, _, _) -> ends_with ~suffix:"float_kind_conv" (path_name p)
+       | _ -> false)
+  | _ -> false
 
 (* ---- registry ----------------------------------------------------------- *)
 

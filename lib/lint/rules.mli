@@ -33,3 +33,25 @@ val all : rule list
 
 val run_all : Classify.t -> Typedtree.structure -> Finding.t list
 (** Run every rule, apply [[@ntcu.allow]] regions, dedupe and sort. *)
+
+(** {2 Shared site predicates}
+
+    The interprocedural rule families (Taint, Escape, Proto) reuse the exact
+    site definitions of their intraprocedural counterparts, so D002/T002,
+    D003/T003 and D005/T005 agree on what a nondeterminism source is. *)
+
+val d002_targets : string -> bool
+(** Dotted path name is an unordered [Hashtbl.iter]/[fold] (incl. [Tbl]). *)
+
+val d003_target : string -> bool
+(** Dotted path name is a wall-clock read or the global [Random] state. *)
+
+val d004_creators : string -> bool
+(** Dotted path name creates mutable state ([ref], [Hashtbl.create], ...). *)
+
+val d005_site : Typedtree.expression -> bool
+(** Expression is a lossy float-formatting site ([string_of_float], or the
+    elaborated [%f]/[%F] format constructor). *)
+
+val dedupe_sorted : Finding.t list -> Finding.t list
+(** Sort by {!Finding.compare} and drop duplicates. *)

@@ -1,0 +1,20 @@
+(** T-rules: determinism taint — the interprocedural upgrade of D002/D003/D005.
+
+    Sources (unordered [Hashtbl.iter]/[fold], wall clock / global [Random] /
+    [Domain.self], lossy float formatting) located in any def reachable from
+    an emitter def ({!Classify.t.emitter}) are reported with the
+    emitter-to-source call chain as the finding's trace:
+
+    - {b T002} unordered iteration whose order can leak into diffed output.
+    - {b T003} ambient nondeterminism feeding an emitter — {e also} fires in
+      [clock_allowed] scopes, where local D003 is out of scope by design.
+    - {b T005} lossy float formatting on an emitter-reachable path outside
+      the emitter unit itself.
+
+    An [[@ntcu.allow]] region covering the source site for the T-code or its
+    D-counterpart neutralizes the source. *)
+
+val check : Callgraph.t -> allow_regions:(string -> Allow.region list) -> Finding.t list
+(** [check g ~allow_regions] — [allow_regions unit_name] must return the
+    [[@ntcu.allow]] regions of that compilation unit. Findings are located at
+    the source site and carry a non-empty trace. *)

@@ -202,12 +202,13 @@ let decode c (data : string) ~(select : delta:int -> Intbuf.t) =
        if level >= c.d || digit >= c.b || sbit > 1 then malformed "bad rv_ngh_noti";
        Intbuf.push3 buf level digit sbit
      end
-     else begin
+     else if kind = kind_rv_fix then begin
        let level = Codec.get_uvarint r in
        let digit = Codec.get_uvarint r in
        if level >= c.d || digit >= c.b then malformed "bad rv_fix";
        Intbuf.push2 buf level digit
-     end);
+     end
+     else malformed "unknown frame kind");
     Intbuf.set buf hdr (Intbuf.length buf - hdr - 4);
     incr frames
   done;

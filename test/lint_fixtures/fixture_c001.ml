@@ -1,0 +1,14 @@
+(* C001 bait: a closure submitted to the Parallel pool reaches toplevel
+   mutable state through a helper — worker domains would race on [shared]. *)
+
+module Parallel = struct
+  type t = unit
+
+  let map (_ : t) f xs = List.map f xs
+end
+
+let shared : (int, int) Hashtbl.t = Hashtbl.create 16
+
+let record x = Hashtbl.replace shared x x
+
+let go pool xs = Parallel.map pool (fun x -> record x) xs (* BAIT *)

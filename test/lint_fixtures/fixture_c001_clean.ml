@@ -1,0 +1,18 @@
+(* C001 clean variant: the pool closure only touches pure helpers; the
+   toplevel state exists but is never reachable from a submitted closure. *)
+
+module Parallel = struct
+  type t = unit
+
+  let map (_ : t) f xs = List.map f xs
+end
+
+let shared : (int, int) Hashtbl.t = Hashtbl.create 16
+
+let record x = Hashtbl.replace shared x x
+
+let pure x = x + 1
+
+let go pool xs = Parallel.map pool (fun x -> pure x) xs
+
+let sequential x = record x

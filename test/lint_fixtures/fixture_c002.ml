@@ -1,0 +1,21 @@
+(* C002 bait: a pool closure reaches a toplevel owner-guarded handle — the
+   worker domain would drive an engine owned by the submitting domain. *)
+
+module Engine = struct
+  type t = { mutable now : float }
+
+  let create () = { now = 0.0 }
+  let step e = e.now <- e.now +. 1.0
+end
+
+module Parallel = struct
+  type t = unit
+
+  let map (_ : t) f xs = List.map f xs
+end
+
+let engine = Engine.create ()
+
+let tick () = Engine.step engine
+
+let go pool xs = Parallel.map pool (fun _ -> tick ()) xs (* BAIT *)

@@ -1,0 +1,31 @@
+(* Call-graph construction bait: functor application and first-class-module
+   packing. Test_lint asserts that [use_functor] reaches [Impl_a.handle]
+   through [F]'s parameter and that [use_pack] reaches [Impl_b.handle]
+   through the packed module. *)
+
+module type S = sig
+  val handle : int -> int
+end
+
+module Impl_a = struct
+  let helper x = x + 1
+  let handle x = helper x
+end
+
+module Impl_b = struct
+  let handle x = x * 2
+end
+
+module F (P : S) = struct
+  let run x = P.handle x
+end
+
+module App = F (Impl_a)
+
+let use_functor x = App.run x
+
+let packed = (module Impl_b : S)
+
+let use_pack x =
+  let (module M : S) = packed in
+  M.handle x

@@ -1,0 +1,14 @@
+(* P001 bait: a wildcard arm in a dispatch def over a message variant hides
+   constructors — [Data] and [Stop] are silently dropped. *)
+
+module Message = struct
+  type t = Ping of int | Pong of int | Data of string | Stop
+end
+
+let log _ = ()
+
+let handle (m : Message.t) =
+  match m with
+  | Message.Ping n -> log n
+  | Message.Pong n -> log n
+  | _ -> () (* BAIT *)

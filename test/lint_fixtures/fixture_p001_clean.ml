@@ -1,0 +1,14 @@
+(* P001 clean variant: total dispatch, one arm per constructor. *)
+
+module Message = struct
+  type t = Ping of int | Pong of int | Data of string | Stop
+end
+
+let log _ = ()
+
+let handle (m : Message.t) =
+  match m with
+  | Message.Ping n -> log n
+  | Message.Pong n -> log n
+  | Message.Data s -> log (String.length s)
+  | Message.Stop -> ()

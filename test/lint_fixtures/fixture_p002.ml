@@ -1,0 +1,14 @@
+(* P002 constructor-parity bait: the encoder matches [Stop] but the decoder
+   never constructs it — a [Stop] frame cannot round-trip. *)
+
+module Message = struct
+  type t = Ping of int | Pong of int | Stop
+end
+
+let encode (m : Message.t) =
+  match m with
+  | Message.Ping n -> n
+  | Message.Pong n -> n + 1
+  | Message.Stop -> 0 (* BAIT *)
+
+let decode k v = if k = 0 then Message.Ping v else Message.Pong v

@@ -1,0 +1,23 @@
+(* P002 clean variant: constructor and kind coverage agree on both sides. *)
+
+module Message = struct
+  type t = Ping of int | Pong of int
+end
+
+let encode (m : Message.t) =
+  match m with Message.Ping n -> n | Message.Pong n -> n + 1
+
+let decode k v = if k = 0 then Message.Ping v else Message.Pong v
+
+let kind_ping = 0
+let kind_pong = 1
+let kind_count = 2
+
+let encode_kind kind v =
+  if kind = kind_ping then v else if kind = kind_pong then v + 1 else 0
+
+let decode_kind kind v =
+  if kind >= kind_count then 0
+  else if kind = kind_ping then v
+  else if kind = kind_pong then v - 1
+  else 0

@@ -1,0 +1,11 @@
+(* P002 frame-kind parity bait: the encoder references [kind_pong] but no
+   decode* def does — pong frames are handled by an implicit fallthrough. *)
+
+let kind_ping = 0
+let kind_pong = 1 (* BAIT *)
+let kind_count = 2
+
+let encode kind v =
+  if kind = kind_ping then v else if kind = kind_pong then v + 1 else 0
+
+let decode kind v = if kind >= kind_count then 0 else if kind = kind_ping then v else v - 1

@@ -1,0 +1,13 @@
+(* P003 bait: the unit arms a cancellable timer but no path from any of its
+   defs reaches [Engine.cancel] — the timer leaks past its owner's teardown. *)
+
+module Engine = struct
+  type t = unit
+  type handle = int
+
+  let schedule_cancellable (_ : t) ~delay:(_ : float) (_ : unit -> unit) : handle = 0
+  let cancel (_ : t) (_ : handle) = ()
+end
+
+let arm eng =
+  ignore (Engine.schedule_cancellable eng ~delay:1.0 (fun () -> ())) (* BAIT *)

@@ -1,0 +1,12 @@
+(* P003 clean variant: the unit that arms the timer can also cancel it. *)
+
+module Engine = struct
+  type t = unit
+  type handle = int
+
+  let schedule_cancellable (_ : t) ~delay:(_ : float) (_ : unit -> unit) : handle = 0
+  let cancel (_ : t) (_ : handle) = ()
+end
+
+let arm eng = Engine.schedule_cancellable eng ~delay:1.0 (fun () -> ())
+let disarm eng h = Engine.cancel eng h

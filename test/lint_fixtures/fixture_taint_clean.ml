@@ -1,0 +1,10 @@
+(* T-rule clean variant: the same source shapes, each justified with the
+   D-counterpart allow annotation — which neutralizes the taint source too. *)
+
+let jitter () = (Random.float [@ntcu.allow "D003"]) 1.0
+
+let sum tbl = (Hashtbl.fold [@ntcu.allow "D002"]) (fun _ v acc -> v +. acc) tbl 0.0
+
+let render x = (string_of_float [@ntcu.allow "D005"]) x
+
+let emit tbl = render (jitter () +. sum tbl)

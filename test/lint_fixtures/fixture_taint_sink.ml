@@ -1,0 +1,6 @@
+(* T-rule bait, sink side: an emitter def whose output depends on every
+   nondeterminism source in Fixture_taint_source. *)
+
+let emit tbl =
+  Fixture_taint_source.render
+    (Fixture_taint_source.jitter () +. Fixture_taint_source.sum tbl)

@@ -1,0 +1,10 @@
+(* T-rule bait, source side: nondeterminism sources in a non-emitter unit.
+   Harmless on their own (the test classifies this unit clock-allowed, so
+   local D003 is out of scope) — but Fixture_taint_sink, classified as an
+   emitter, calls every one of them. *)
+
+let jitter () = Random.float 1.0 (* BAIT-T003 *)
+
+let sum tbl = Hashtbl.fold (fun _ v acc -> v +. acc) tbl 0.0 (* BAIT-T002 *)
+
+let render x = string_of_float x (* BAIT-T005 *)

@@ -45,8 +45,9 @@ let marker_lines src marker =
       in
       go 1 [])
 
-let cls ?(in_lib = false) ?(clock_allowed = false) ?(emitter = false) source =
-  { Classify.source; in_lib; clock_allowed; emitter }
+let cls ?(in_lib = false) ?(in_test = false) ?(clock_allowed = false) ?(emitter = false)
+    ?(codec = false) ?(dispatch = false) source =
+  { Classify.source; in_lib; in_test; clock_allowed; emitter; codec; dispatch }
 
 let scan ?in_lib ?clock_allowed ?emitter name =
   let cmt, src = fixture_paths name in
@@ -135,12 +136,205 @@ let baseline_suppression () =
 let exit_codes () =
   let findings, _ = scan "fixture_d003" in
   let report fresh =
-    { Engine.fresh; baselined = []; unused_baseline = []; files_scanned = 1 }
+    {
+      Engine.fresh;
+      baselined = [];
+      unused_baseline = [];
+      files_scanned = 1;
+      allow_debt = [];
+      baseline_total = 0;
+    }
   in
   check Alcotest.int "clean exits 0" 0 (Engine.exit_code (report []));
   check Alcotest.int "fresh findings exit 1" 1 (Engine.exit_code (report findings));
   let json = Engine.report_to_json (report findings) in
-  check Alcotest.bool "json carries the schema tag" true (contains_sub json "ntcu-lint/1")
+  check Alcotest.bool "json carries the schema tag" true (contains_sub json "ntcu-lint/2")
+
+(* ---- interprocedural families: call graph, P/T/C rules ------------------ *)
+
+module Callgraph = Ntcu_lint.Callgraph
+
+let load ?in_lib ?in_test ?clock_allowed ?emitter ?codec ?dispatch name =
+  let cmt, src = fixture_paths name in
+  match
+    Engine.load_cmt
+      ~classify:(fun source ->
+        cls ?in_lib ?in_test ?clock_allowed ?emitter ?codec ?dispatch source)
+      cmt
+  with
+  | Some u -> (u, src)
+  | None -> Alcotest.failf "fixture cmt did not load: %s" name
+
+let with_code code findings =
+  List.filter (fun (f : Finding.t) -> String.equal f.code code) findings
+
+let assert_traced findings =
+  List.iter
+    (fun (f : Finding.t) ->
+      if List.is_empty f.trace then
+        Alcotest.failf "finding %s %s:%d has an empty trace" f.code f.file f.line)
+    findings
+
+let graph_of name =
+  let u, _ = load name in
+  Callgraph.build [ (u.Engine.u_cls, u.u_name, u.u_str, u.u_uid_to_loc) ]
+
+let reaches g ~from ~target =
+  match Callgraph.find_qual g from with
+  | [] -> Alcotest.failf "no def %s in graph" from
+  | roots ->
+    List.exists
+      (fun (d : Callgraph.def) -> String.equal d.qual target)
+      (Callgraph.reachable g ~roots)
+
+let callgraph_functor () =
+  let g = graph_of "fixture_cg" in
+  check Alcotest.bool "functor body resolves through the application" true
+    (reaches g ~from:"Fixture_cg.use_functor" ~target:"Impl_a.handle");
+  check Alcotest.bool "functor param call reaches the argument's helper" true
+    (reaches g ~from:"Fixture_cg.use_functor" ~target:"Impl_a.helper");
+  check Alcotest.bool "no edge invents a path to the unpacked impl" false
+    (reaches g ~from:"Fixture_cg.use_functor" ~target:"Impl_b.handle")
+
+let callgraph_first_class () =
+  let g = graph_of "fixture_cg" in
+  check Alcotest.bool "packing def reaches the packed module's defs" true
+    (reaches g ~from:"Fixture_cg.packed" ~target:"Impl_b.handle");
+  check Alcotest.bool "call through an unpacked module hits the packed impl" true
+    (reaches g ~from:"Fixture_cg.use_pack" ~target:"Impl_b.handle")
+
+let one_bait ~code findings src =
+  let hits = with_code code findings in
+  check
+    Alcotest.(list int)
+    (code ^ " at the marker lines")
+    (marker_lines src "BAIT") (lines_of hits);
+  assert_traced hits;
+  hits
+
+let p001_bait () =
+  let u, src = load ~dispatch:true "fixture_p001" in
+  let f = one_bait ~code:"P001" (Engine.analyze [ u ]) src in
+  match f with
+  | [ f ] ->
+    if not (contains_sub f.message "2 of 4") then
+      Alcotest.failf "expected coverage count in: %s" f.message
+  | other -> Alcotest.failf "expected exactly 1 P001, got %d" (List.length other)
+
+let p001_clean () =
+  let u, _ = load ~dispatch:true "fixture_p001_clean" in
+  check Alcotest.int "total dispatch is clean" 0
+    (List.length (with_code "P001" (Engine.analyze [ u ])))
+
+let p001_scope () =
+  (* Same bait outside a dispatch unit: out of scope, no finding. *)
+  let u, _ = load "fixture_p001" in
+  check Alcotest.int "P001 only applies to dispatch units" 0
+    (List.length (with_code "P001" (Engine.analyze [ u ])))
+
+let p002_constructor_bait () =
+  let u, src = load ~codec:true "fixture_p002" in
+  let f = one_bait ~code:"P002" (Engine.analyze [ u ]) src in
+  match f with
+  | [ f ] ->
+    if not (contains_sub f.message "Stop") then
+      Alcotest.failf "expected the missing constructor in: %s" f.message
+  | other -> Alcotest.failf "expected exactly 1 P002, got %d" (List.length other)
+
+let p002_kind_bait () =
+  let u, src = load ~codec:true "fixture_p002_wire" in
+  let f = one_bait ~code:"P002" (Engine.analyze [ u ]) src in
+  match f with
+  | [ f ] ->
+    if not (contains_sub f.message "kind_pong") then
+      Alcotest.failf "expected the orphaned kind in: %s" f.message
+  | other -> Alcotest.failf "expected exactly 1 P002, got %d" (List.length other)
+
+let p002_clean () =
+  let u, _ = load ~codec:true "fixture_p002_clean" in
+  check Alcotest.int "parity on both sides is clean" 0
+    (List.length (with_code "P002" (Engine.analyze [ u ])))
+
+let p003_bait () =
+  let u, src = load "fixture_p003" in
+  ignore (one_bait ~code:"P003" (Engine.analyze [ u ]) src)
+
+let p003_clean () =
+  let u, _ = load "fixture_p003_clean" in
+  check Alcotest.int "unit with a reachable cancel is clean" 0
+    (List.length (with_code "P003" (Engine.analyze [ u ])))
+
+let taint_pair () =
+  let source, src = load ~clock_allowed:true "fixture_taint_source" in
+  let sink, sink_src = load ~emitter:true "fixture_taint_sink" in
+  let findings = Engine.analyze [ source; sink ] in
+  List.iter
+    (fun (code, marker) ->
+      match (with_code code findings, marker_lines src marker) with
+      | [ f ], [ line ] ->
+        check Alcotest.int (code ^ " at the source site") line f.line;
+        assert_traced [ f ];
+        (* The trace starts at the emitter and walks to the source. *)
+        let first = List.hd f.trace in
+        check Alcotest.string (code ^ " trace starts in the sink")
+          (Filename.basename sink_src)
+          (Filename.basename first.Finding.file)
+      | fs, ms ->
+        Alcotest.failf "%s: expected 1 finding / 1 marker, got %d / %d" code
+          (List.length fs) (List.length ms))
+    [ ("T002", "BAIT-T002"); ("T003", "BAIT-T003"); ("T005", "BAIT-T005") ]
+
+let taint_clean () =
+  let u, _ = load ~emitter:true "fixture_taint_clean" in
+  let findings = Engine.analyze [ u ] in
+  List.iter
+    (fun code ->
+      check Alcotest.int (code ^ " neutralized by the D-allow") 0
+        (List.length (with_code code findings)))
+    [ "T002"; "T003"; "T005"; "D002"; "D003"; "D005" ]
+
+let c001_bait () =
+  let u, src = load ~in_lib:true "fixture_c001" in
+  ignore (one_bait ~code:"C001" (Engine.analyze [ u ]) src)
+
+let c001_clean () =
+  let u, _ = load ~in_lib:true "fixture_c001_clean" in
+  check Alcotest.int "pure pool closure is clean" 0
+    (List.length (with_code "C001" (Engine.analyze [ u ])))
+
+let c002_bait () =
+  let u, src = load ~in_lib:true "fixture_c002" in
+  ignore (one_bait ~code:"C002" (Engine.analyze [ u ]) src)
+
+let suppression_debt () =
+  let u, _ = load ~in_lib:true "fixture_allow" in
+  let stale = { Baseline.code = "D001"; file = "lib/gone.ml"; line = 3; note = "gone" } in
+  let report =
+    {
+      Engine.fresh = [];
+      baselined = [];
+      unused_baseline = [ stale ];
+      files_scanned = 1;
+      allow_debt = [ (u.Engine.u_cls.Classify.source, u.u_regions) ];
+      baseline_total = 1;
+    }
+  in
+  let json = Engine.suppressions_to_json report in
+  List.iter
+    (fun frag ->
+      if not (contains_sub json frag) then
+        Alcotest.failf "suppression JSON lacks %S:\n%s" frag json)
+    [ "ntcu-lint-suppressions/1"; "\"allow_regions\": 1"; "lib/gone.ml"; "stale_baseline" ];
+  check Alcotest.int "stale entries pass without strict" 0 (Engine.exit_code report);
+  check Alcotest.int "stale entries fail under strict" 2
+    (Engine.exit_code ~strict_baseline:true report);
+  check Alcotest.int "fresh findings dominate strictness" 1
+    (Engine.exit_code ~strict_baseline:true
+       {
+         report with
+         Engine.fresh =
+           [ Finding.make ~code:"D001" ~file:"x.ml" ~loc:Location.none "msg" ];
+       })
 
 let suites =
   [
@@ -158,5 +352,36 @@ let suites =
         Alcotest.test_case "whole-file ntcu.allow" `Quick whole_file_allow;
         Alcotest.test_case "baseline suppression" `Quick baseline_suppression;
         Alcotest.test_case "exit codes and JSON schema" `Quick exit_codes;
+      ] );
+    ( "callgraph",
+      [
+        Alcotest.test_case "functor application edges" `Quick callgraph_functor;
+        Alcotest.test_case "first-class module edges" `Quick callgraph_first_class;
+      ] );
+    ( "protocol",
+      [
+        Alcotest.test_case "P001 unreached dispatch arm" `Quick p001_bait;
+        Alcotest.test_case "P001 total match is clean" `Quick p001_clean;
+        Alcotest.test_case "P001 scoped to dispatch units" `Quick p001_scope;
+        Alcotest.test_case "P002 missing decoder constructor" `Quick p002_constructor_bait;
+        Alcotest.test_case "P002 orphaned wire kind constant" `Quick p002_kind_bait;
+        Alcotest.test_case "P002 full parity is clean" `Quick p002_clean;
+        Alcotest.test_case "P003 timer arm without cancel path" `Quick p003_bait;
+        Alcotest.test_case "P003 reachable cancel is clean" `Quick p003_clean;
+      ] );
+    ( "taint",
+      [
+        Alcotest.test_case "T002/T003/T005 source-to-sink traces" `Quick taint_pair;
+        Alcotest.test_case "allow on the source neutralizes taint" `Quick taint_clean;
+      ] );
+    ( "escape",
+      [
+        Alcotest.test_case "C001 mutable capture in pool closure" `Quick c001_bait;
+        Alcotest.test_case "C001 pure closure is clean" `Quick c001_clean;
+        Alcotest.test_case "C002 owner-guarded handle crosses domains" `Quick c002_bait;
+      ] );
+    ( "suppressions",
+      [
+        Alcotest.test_case "debt report and strict-baseline exit" `Quick suppression_debt;
       ] );
   ]
